@@ -1,0 +1,19 @@
+"""Figure 10: memory footprint versus input size.
+
+Paper claims: most methods use ~2x the input; pFPC and SPDP run in
+fixed buffers (flat lines); BUFF needs ~7x, making it unsuitable for
+in-situ analysis.
+"""
+
+from repro.core.experiments import fig10_memory
+
+
+def test_fig10(benchmark, emit):
+    out = benchmark(fig10_memory)
+    emit("fig10_memory", str(out))
+    fp = out.data["footprints"]
+    assert fp["pfpc"][0] == fp["pfpc"][-1], "pFPC buffers are fixed"
+    assert fp["spdp"][0] == fp["spdp"][-1], "SPDP buffers are fixed"
+    growth = fp["fpzip"][-1] / fp["fpzip"][0]
+    assert 15.0 < growth < 17.0  # 250 MB -> 4000 MB at factor 2
+    assert fp["buff"][-1] > 3.0 * fp["fpzip"][-1], "BUFF needs ~7x"

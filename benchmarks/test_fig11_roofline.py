@@ -1,0 +1,21 @@
+"""Figure 11: roofline placement of each method's dominant kernel.
+
+Paper claims (Observation 10): most GPU methods sit near the memory
+roof; ndzip (CPU and GPU) is compute bound; serial CPU methods float far
+below both roofs, i.e. parallelization headroom exists.
+"""
+
+from repro.core.experiments import fig11_roofline
+
+
+def test_fig11(benchmark, suite_results, emit):
+    out = benchmark(fig11_roofline, suite_results)
+    emit("fig11_roofline", str(out))
+    bounds = {p.method: p.bound for p in out.data["points"]}
+    for serial in ("fpzip", "gorilla", "chimp", "buff", "spdp"):
+        assert bounds[serial] == "overhead", serial
+    assert bounds["ndzip-cpu"] == "compute"
+    assert bounds["ndzip-gpu"] == "compute"
+    gpu_memory_bound = [m for m in ("gfc", "mpc", "nvcomp-bitcomp")
+                        if bounds[m] == "memory"]
+    assert len(gpu_memory_bound) == 3

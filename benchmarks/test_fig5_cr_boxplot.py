@@ -1,0 +1,16 @@
+"""Figure 5: boxplot of all compression ratios.
+
+Paper claims (Observation 1): the median CR is ~1.16, most ratios are
+<= 2.0, and outliers reach into the double digits (astro-mhd).
+"""
+
+from repro.core.experiments import fig5_cr_boxplot
+
+
+def test_fig5(benchmark, suite_results, emit):
+    out = benchmark(fig5_cr_boxplot, suite_results)
+    emit("fig5_cr_boxplot", str(out))
+    stats = out.data["stats"]
+    assert 1.0 < out.data["median"] < 1.35, "median CR should be ~1.16"
+    assert stats.q3 < 2.0, "the bulk of ratios sits below 2.0"
+    assert out.data["max"] > 10.0, "sparse datasets produce double-digit outliers"

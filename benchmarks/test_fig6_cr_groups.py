@@ -1,0 +1,18 @@
+"""Figure 6: compression ratios by data groups and method groups.
+
+Paper claims: single-precision compresses better than double; OBS is the
+easiest domain and DB the hardest; dictionary-based predictors beat
+delta-based ones; CPU methods beat GPU methods on ratio.
+"""
+
+from repro.core.experiments import fig6_cr_groups
+
+
+def test_fig6(benchmark, suite_results, emit):
+    out = benchmark(fig6_cr_groups, suite_results)
+    emit("fig6_cr_groups", str(out))
+    med = out.data["medians"]
+    assert med["single (fp32)"] > med["double (fp64)"]
+    assert med["OBS"] == max(med[d] for d in ("HPC", "TS", "OBS", "DB"))
+    assert med["DICTIONARY"] > med["DELTA"]
+    assert med["CPU"] > med["GPU"]

@@ -1,0 +1,35 @@
+"""Figure 7: harmonic-mean CRs and the critical-difference diagram.
+
+Paper claims (Observation 2): no significant overall winner — the top
+clique overlaps; bitshuffle::zstd ranks at the top and GFC at the bottom
+but neither is separated from its neighbours by the critical difference;
+the Friedman test rejects method equivalence.
+"""
+
+from repro.core.experiments import fig7a_mean_cr, fig7b_cd_diagram
+
+
+def test_fig7a(benchmark, suite_results, emit):
+    out = benchmark(fig7a_mean_cr, suite_results)
+    emit("fig7a_mean_cr", str(out))
+    means = out.data["means"]
+    top = max(means, key=lambda m: means[m])
+    assert top in {"bitshuffle-zstd", "chimp", "fpzip", "bitshuffle-lz4"}
+    assert means["bitshuffle-zstd"] >= means["bitshuffle-lz4"], (
+        "zstd's entropy stage must not lose to plain LZ4"
+    )
+    assert means["gfc"] < 1.15, "GFC's inaccurate predictor ranks last"
+
+
+def test_fig7b(benchmark, suite_results, emit):
+    out = benchmark(fig7b_cd_diagram, suite_results)
+    emit("fig7b_cd_diagram", str(out))
+    assert out.data["friedman"].rejects_null(0.05)
+    nemenyi = out.data["nemenyi"]
+    ordered = [m for m, _ in nemenyi.ordered()]
+    # Top group contains the transform+dictionary family...
+    assert set(ordered[:4]) & {"shf+zstd", "shf+LZ4", "fpzip", "Chimp", "MPC"}
+    # ...and the weak-predictor group anchors the bottom of the ranking.
+    assert {"GFC", "Gorilla", "BUFF", "pFPC"} <= set(ordered[-6:])
+    # "No significant winner": first and second are within one CD.
+    assert not nemenyi.significantly_different(ordered[0], ordered[1])

@@ -1,0 +1,23 @@
+"""Figure 8: compression and decompression throughputs.
+
+Paper claims (Observation 3): GPU methods are ~350x faster at the
+median; nvCOMP::bitcomp and ndzip-CPU are the fastest GPU/CPU
+compressors; nvCOMP::LZ4 is the slowest GPU method.
+"""
+
+import numpy as np
+
+from repro.core.experiments import fig8_throughputs
+
+
+def test_fig8(benchmark, suite_results, emit):
+    out = benchmark(fig8_throughputs, suite_results)
+    emit("fig8_throughput", str(out))
+    ct = out.data["ct"]
+    gpu = ["gfc", "mpc", "nvcomp-lz4", "nvcomp-bitcomp", "ndzip-gpu"]
+    cpu = [m for m in ct if m not in gpu]
+    ratio = np.median([ct[m] for m in gpu]) / np.median([ct[m] for m in cpu])
+    assert ratio > 100, f"GPU/CPU median gap should be huge, got {ratio:.0f}x"
+    assert max(ct, key=lambda m: ct[m]) == "nvcomp-bitcomp"
+    assert max((m for m in cpu), key=lambda m: ct[m]) == "ndzip-cpu"
+    assert min((m for m in gpu), key=lambda m: ct[m]) == "nvcomp-lz4"

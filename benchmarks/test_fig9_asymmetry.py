@@ -1,0 +1,19 @@
+"""Figure 9: (CT - DT) / CT throughput asymmetry.
+
+Paper claims (Observation 4): dictionary-based methods decompress much
+faster than they compress (nvCOMP::LZ4 ~18x, Chimp ~4x, Gorilla ~2x),
+while delta/Lorenzo methods are balanced.
+"""
+
+from repro.core.experiments import fig9_asymmetry
+
+
+def test_fig9(benchmark, suite_results, emit):
+    out = benchmark(fig9_asymmetry, suite_results)
+    emit("fig9_asymmetry", str(out))
+    asym = out.data["asymmetry"]
+    assert asym["nvcomp-lz4"] < -10, "LZ4 decode is branch-free and far faster"
+    assert asym["chimp"] < -2
+    assert asym["gorilla"] < -1
+    for balanced in ("mpc", "spdp", "fpzip", "bitshuffle-zstd"):
+        assert abs(asym[balanced]) < 0.5, balanced

@@ -1,0 +1,28 @@
+"""Table 10: compression performance under 4K/64K/8M block sizes.
+
+Paper claims (Observation 8): most methods improve CR with larger
+blocks, and throughputs are higher at 64K/8M than at database-page-sized
+4K blocks; bitshuffle peaks at cache-resident 64K rather than 8M.
+"""
+
+from conftest import run_once
+
+from repro.core.experiments import table10_blocksize
+
+
+def test_table10(benchmark, emit):
+    out = run_once(benchmark, table10_blocksize, target_elements=8192)
+    emit("table10_blocksize", str(out))
+    data = out.data
+
+    improves = sum(
+        1 for m in data if data[m]["64K"]["cr"] >= data[m]["4K"]["cr"] - 1e-6
+    )
+    assert improves >= 6, "most methods prefer larger blocks for CR"
+
+    for method in ("pfpc", "spdp", "gorilla", "chimp"):
+        assert data[method]["64K"]["ct"] > data[method]["4K"]["ct"], method
+        assert data[method]["8M"]["ct"] > data[method]["4K"]["ct"], method
+
+    # bitshuffle is tuned for L1/L2 residency: 64K beats 8M.
+    assert data["bitshuffle-lz4"]["64K"]["ct"] > data["bitshuffle-lz4"]["8M"]["ct"]

@@ -1,0 +1,44 @@
+"""Table 4: the full compression-ratio matrix with domain averages.
+
+Paper claims: fpzip leads HPC; nvCOMP::LZ4 and Chimp lead TS;
+bitshuffle::zstd leads OBS; Chimp/nvCOMP::LZ4 lead DB; GFC shows "-"
+for the 11 datasets above its 512 MB limit; astro-mhd is the outlier
+column with double-digit ratios.
+"""
+
+import numpy as np
+
+from repro.core.experiments import table4_cr_matrix
+
+
+def test_table4(benchmark, suite_results, emit):
+    out = benchmark(table4_cr_matrix, suite_results)
+    emit("table4_cr_matrix", str(out))
+    means = out.data["domain_means"]
+
+    hpc = means["HPC"]
+    assert max(hpc, key=lambda m: hpc[m]) == "fpzip"
+
+    ts = means["TS"]
+    assert max(ts, key=lambda m: ts[m]) in {"nvcomp-lz4", "chimp"}
+
+    obs = means["OBS"]
+    assert max(obs, key=lambda m: obs[m]) in {
+        "bitshuffle-zstd", "bitshuffle-lz4", "fpzip",
+    }
+
+    db = means["DB"]
+    assert max(db, key=lambda m: db[m]) in {"chimp", "nvcomp-lz4"}
+    # DB is the hardest domain for structure-based methods.
+    assert db["ndzip-cpu"] < hpc["ndzip-cpu"]
+
+    gfc_cells = [m for m in suite_results.for_method("gfc")]
+    skipped = [m for m in gfc_cells if not m.ok]
+    assert len(skipped) == 11, "Table 4 shows exactly 11 '-' cells for GFC"
+
+    astro = [
+        m.compression_ratio
+        for m in suite_results.for_dataset("astro-mhd")
+        if m.ok
+    ]
+    assert max(astro) > 10.0

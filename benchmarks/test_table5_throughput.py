@@ -1,0 +1,28 @@
+"""Table 5: average (de)compression throughput in GB/s.
+
+These values are the calibration anchors of the performance model; the
+bench verifies the anchored means agree with the published table and
+that the orderings the paper highlights hold.
+"""
+
+import pytest
+
+from repro.core.experiments import table5_throughput
+
+_PAPER_CT = {
+    "pfpc": 0.564, "spdp": 0.181, "fpzip": 0.079, "bitshuffle-lz4": 0.923,
+    "bitshuffle-zstd": 1.407, "ndzip-cpu": 2.192, "buff": 0.202,
+    "gorilla": 0.047, "chimp": 0.034, "gfc": 87.778, "mpc": 29.595,
+    "nvcomp-lz4": 2.716, "nvcomp-bitcomp": 240.280, "ndzip-gpu": 142.635,
+}
+
+
+def test_table5(benchmark, suite_results, emit):
+    out = benchmark(table5_throughput, suite_results)
+    emit("table5_throughput", str(out))
+    ct = out.data["ct"]
+    for method, paper_value in _PAPER_CT.items():
+        assert ct[method] == pytest.approx(paper_value, rel=0.02), method
+    dt = out.data["dt"]
+    assert dt["nvcomp-lz4"] > 15 * ct["nvcomp-lz4"]
+    assert dt["gorilla"] > 2 * ct["gorilla"]

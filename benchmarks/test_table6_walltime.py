@@ -1,0 +1,28 @@
+"""Table 6: end-to-end wall time including host-device copies.
+
+Paper claims (Observation 5): host-to-device copies are not negligible —
+bitshuffle's wall times are comparable with GFC/MPC despite the GPU
+methods' enormous kernel throughput, and ndzip-CPU beats ndzip-GPU
+end to end.
+"""
+
+from repro.core.experiments import table6_walltime
+
+
+def test_table6(benchmark, suite_results, emit):
+    out = benchmark(table6_walltime, suite_results)
+    emit("table6_walltime", str(out))
+    walls = out.data["walls"]
+    assert "nvcomp-lz4" not in walls, "paper omits nvCOMP from Table 6"
+
+    shf_zstd_comp = walls["bitshuffle-zstd"][0]
+    mpc_comp = walls["mpc"][0]
+    assert shf_zstd_comp < 4 * mpc_comp, (
+        "bitshuffle wall time is comparable with GPU methods"
+    )
+    assert walls["ndzip-cpu"][0] < walls["ndzip-gpu"][0], (
+        "Observation 5: ndzip-CPU is faster end-to-end than ndzip-GPU"
+    )
+    assert walls["chimp"][0] == max(w[0] for w in walls.values()), (
+        "Chimp's window search is the slowest compressor"
+    )

@@ -1,0 +1,23 @@
+"""Table 7: parallel compression throughput over 1-48 threads.
+
+Paper claims (Observation 7): pFPC and the bitshuffle variants reach
+3-11x speedup by 16-24 threads and roll off past that; ndzip-CPU does
+not scale (implementation issue).
+"""
+
+from repro.core.experiments import table7_scaling
+
+
+def test_table7(benchmark, emit):
+    out = benchmark(table7_scaling)
+    emit("table7_scaling", str(out))
+    series = out.data["series"]
+    threads = list(out.data["threads"])
+
+    def speedup(method, t):
+        return series[method][threads.index(t)] / series[method][0]
+
+    assert 3.0 < speedup("pfpc", 24) < 5.5
+    assert speedup("bitshuffle-zstd", 24) > 7.0
+    assert speedup("bitshuffle-lz4", 48) < speedup("bitshuffle-lz4", 16)
+    assert abs(speedup("ndzip-cpu", 48) - 1.0) < 0.1

@@ -1,0 +1,22 @@
+"""Table 8: parallel decompression throughput over 1-48 threads."""
+
+from repro.core.experiments import table8_scaling
+
+
+def test_table8(benchmark, emit):
+    out = benchmark(table8_scaling)
+    emit("table8_scaling", str(out))
+    series = out.data["series"]
+    threads = list(out.data["threads"])
+
+    # Single-thread decompression rates come from the paper's table.
+    assert abs(series["pfpc"][0] - 91.0) < 1.0
+    assert abs(series["bitshuffle-lz4"][0] - 1746.0) < 1.0
+    assert abs(series["ndzip-cpu"][0] - 1197.0) < 1.0
+
+    def speedup(method, t):
+        return series[method][threads.index(t)] / series[method][0]
+
+    assert speedup("pfpc", 24) > 2.5
+    assert speedup("bitshuffle-zstd", 24) > 5.0
+    assert abs(speedup("ndzip-cpu", 32) - 1.0) < 0.1

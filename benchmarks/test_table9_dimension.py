@@ -1,0 +1,22 @@
+"""Table 9: the influence of dimension information on CR.
+
+Paper claims (Observation 6): treating multidimensional data as 1-D
+arrays does not significantly change compression ratios (Mann-Whitney U,
+alpha = 0.05, no rejection for any of the five dimension-aware methods).
+"""
+
+from conftest import run_once
+
+from repro.core.experiments import table9_dimension
+
+
+def test_table9(benchmark, emit):
+    out = run_once(benchmark, table9_dimension, target_elements=8192)
+    emit("table9_dimension", str(out))
+    for method, row in out.data.items():
+        assert not row["significant"], (
+            f"{method}: md vs 1d difference should not be significant "
+            f"(p={row['p']:.3f})"
+        )
+        # Ratios themselves stay close.
+        assert abs(row["md"] - row["1d"]) / row["md"] < 0.25, method

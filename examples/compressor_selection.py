@@ -1,0 +1,43 @@
+"""Statistical compressor selection on your own data (section 7.3 workflow).
+
+Run:  python examples/compressor_selection.py
+
+Given a collection of arrays (here: a mixed sample of the benchmark
+corpus standing in for "your data"), this example runs every method,
+ranks them with the Friedman + Nemenyi machinery, renders the critical-
+difference diagram, and prints the recommendation map — the same
+methodology the paper uses to recommend compressors per use case.
+"""
+
+from __future__ import annotations
+
+from repro.core.experiments import fig7b_cd_diagram
+from repro.core.recommend import recommend
+from repro.core.suite import run_suite
+
+# Pretend these are the user's own datasets: a few from each domain.
+MY_DATA = [
+    "turbulence", "wave", "num-brain",          # simulation outputs
+    "citytemp", "gas-price", "nyc-taxi",        # operational telemetry
+    "hst-wfc3-ir", "hdr-night",                 # imaging
+    "tpcH-order", "tpcDS-web", "tpcxBB-store",  # transactional extracts
+]
+
+
+def main() -> None:
+    print(f"evaluating all methods on {len(MY_DATA)} user datasets...")
+    results = run_suite(datasets=MY_DATA, target_elements=8192)
+
+    failures = [m for m in results.measurements if not m.ok]
+    print(f"{len(results)} cells measured, {len(failures)} skipped "
+          "(size limits)")
+
+    print()
+    print(fig7b_cd_diagram(results))
+
+    print()
+    print(recommend(results).summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: compress one dataset with every method and compare.
+
+Run:  python examples/quickstart.py [dataset-name]
+
+Loads one of the 33 Table 3 datasets (default: citytemp), runs all 14
+table methods on it, verifies each stream round-trips bit-exactly, and
+prints the CR / modeled-throughput comparison — a one-dataset slice of
+the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.compressors import get_compressor, paper_table_order
+from repro.core.report import format_table
+from repro.core.runner import BenchmarkRunner
+from repro.data import get_spec, load
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "citytemp"
+    spec = get_spec(dataset)
+    array = load(dataset, target_elements=16_384)
+    print(
+        f"dataset {spec.name} ({spec.domain}, {spec.dtype}): "
+        f"scaled to shape {array.shape}, {array.nbytes / 1024:.0f} KiB "
+        f"(paper scale: {spec.paper_bytes / 1e6:.0f} MB)"
+    )
+
+    runner = BenchmarkRunner()
+    rows = []
+    for method in paper_table_order():
+        measurement = runner.run_cell(method, array, spec)
+        display = get_compressor(method).info.display_name
+        if not measurement.ok:
+            rows.append([display, "-", "-", "-", measurement.error[:40]])
+            continue
+        rows.append(
+            [
+                display,
+                f"{measurement.compression_ratio:.3f}",
+                f"{measurement.compress_gbs:.3f}",
+                f"{measurement.decompress_gbs:.3f}",
+                "ok (bit-exact)",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["method", "CR", "CT GB/s*", "DT GB/s*", "roundtrip"],
+            rows,
+            title=f"All methods on {dataset} "
+            "(*modeled at paper scale on the Xeon 6126 / RTX 6000 testbed)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

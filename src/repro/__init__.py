@@ -1,0 +1,22 @@
+"""repro: a reproduction of FCBench (VLDB 2024).
+
+Cross-domain benchmarking of lossless compression for floating-point
+data: 15 compressor implementations, the 33-dataset synthetic corpus,
+a simulated in-memory database, statistical ranking, and a calibrated
+performance model reproducing the paper's tables and figures.
+"""
+
+from repro.compressors import compressor_names, get_compressor
+from repro.core import run_suite
+from repro.data import dataset_names, load
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "compressor_names",
+    "dataset_names",
+    "get_compressor",
+    "load",
+    "run_suite",
+]

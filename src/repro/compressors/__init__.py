@@ -1,0 +1,58 @@
+"""The 15 surveyed compressors (Table 1 of the paper) plus the registry.
+
+Importing this package registers every method; use
+:func:`~repro.compressors.base.get_compressor` to instantiate by name.
+"""
+
+from repro.compressors.base import (
+    PAPER_TABLE_ORDER,
+    Compressor,
+    MethodInfo,
+    compressor_names,
+    get_compressor,
+    paper_table_order,
+    register,
+)
+from repro.compressors.bitshuffle import (
+    BitshuffleLz4Compressor,
+    BitshuffleZstdCompressor,
+)
+from repro.compressors.buff import BuffCompressor
+from repro.compressors.chimp import ChimpCompressor
+from repro.compressors.dzip import DzipCompressor
+from repro.compressors.fpzip import FpzipCompressor
+from repro.compressors.gfc import GfcCompressor
+from repro.compressors.gorilla import GorillaCompressor
+from repro.compressors.mpc import MpcCompressor
+from repro.compressors.ndzip import NdzipCpuCompressor, NdzipGpuCompressor
+from repro.compressors.nvcomp import (
+    NvcompBitcompCompressor,
+    NvcompLz4Compressor,
+)
+from repro.compressors.pfpc import PfpcCompressor
+from repro.compressors.spdp import SpdpCompressor
+
+__all__ = [
+    "PAPER_TABLE_ORDER",
+    "Compressor",
+    "MethodInfo",
+    "compressor_names",
+    "get_compressor",
+    "paper_table_order",
+    "register",
+    "BitshuffleLz4Compressor",
+    "BitshuffleZstdCompressor",
+    "BuffCompressor",
+    "ChimpCompressor",
+    "DzipCompressor",
+    "FpzipCompressor",
+    "GfcCompressor",
+    "GorillaCompressor",
+    "MpcCompressor",
+    "NdzipCpuCompressor",
+    "NdzipGpuCompressor",
+    "NvcompBitcompCompressor",
+    "NvcompLz4Compressor",
+    "PfpcCompressor",
+    "SpdpCompressor",
+]

@@ -1,0 +1,214 @@
+"""Compressor interface, method metadata, and the method registry.
+
+Each surveyed method (Table 1 of the paper) is a :class:`Compressor`
+subclass carrying its :class:`MethodInfo` (the Table 1 row) and a
+:class:`~repro.perf.cost.CostModel` (the performance-model parameters).
+The registry maps method names to classes and preserves the column order
+the paper's tables use.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encodings.varint import decode_uvarint, encode_uvarint
+from repro.errors import CorruptStreamError, UnsupportedDtypeError
+from repro.perf.cost import CostModel
+
+__all__ = [
+    "MethodInfo",
+    "Compressor",
+    "register",
+    "get_compressor",
+    "compressor_names",
+    "paper_table_order",
+    "PAPER_TABLE_ORDER",
+]
+
+_MAGIC = 0xFC
+_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+_CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
+
+
+@dataclass(frozen=True)
+class MethodInfo:
+    """One row of the paper's Table 1."""
+
+    name: str  # registry key, e.g. "bitshuffle-zstd"
+    display_name: str  # table label, e.g. "shf+zstd"
+    year: int
+    domain: str  # "HPC" | "Database" | "general"
+    precisions: frozenset[str]  # subset of {"S", "D"}
+    platform: str  # "cpu" | "gpu"
+    parallelism: str  # "serial" | "threads" | "SIMD+threads" | "SIMT"
+    language: str  # implementation language of the original
+    trait: str  # Table 1 "trait" column
+    predictor_family: str  # "lorenzo" | "delta" | "dictionary" | "prediction" | "nn"
+
+    def supports_dtype(self, dtype: np.dtype) -> bool:
+        code = {np.dtype(np.float32): "S", np.dtype(np.float64): "D"}.get(
+            np.dtype(dtype)
+        )
+        return code in self.precisions
+
+
+class Compressor(ABC):
+    """Lossless floating-point compressor with a self-describing stream.
+
+    Subclasses implement :meth:`_compress` and :meth:`_decompress`; the
+    base class handles input validation and the common header carrying
+    dtype and shape, so every stream round-trips to the exact original
+    array (bit-exact, NaN payloads included).
+    """
+
+    info: MethodInfo
+    cost: CostModel
+    #: Optional hard input-size limit in bytes (GFC's 512 MB, section 4.1).
+    max_input_bytes: int | None = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def compress(self, array: np.ndarray) -> bytes:
+        """Compress ``array`` into a self-describing byte stream."""
+        array = self._validate(array)
+        header = self._pack_header(array)
+        payload = self._compress(array)
+        return header + payload
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        """Reconstruct the exact original array from :meth:`compress` output."""
+        shape, dtype, offset = self._unpack_header(blob)
+        count = 1
+        for extent in shape:
+            count *= extent
+        decoded = self._decompress(blob[offset:], shape, dtype)
+        if decoded.dtype != dtype or decoded.size != count:
+            raise CorruptStreamError(
+                f"{self.info.name}: decoder produced {decoded.size} x "
+                f"{decoded.dtype}, expected {count} x {dtype}"
+            )
+        return decoded.reshape(shape)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _compress(self, array: np.ndarray) -> bytes:
+        """Encode a validated C-contiguous float array."""
+
+    @abstractmethod
+    def _decompress(
+        self, payload: bytes, shape: tuple[int, ...], dtype: np.dtype
+    ) -> np.ndarray:
+        """Decode an array with ``shape`` elements of ``dtype`` from ``payload``.
+
+        Implementations may return the array flat or shaped; the caller
+        validates the element count and reshapes.
+        """
+
+    # ------------------------------------------------------------------
+    # Validation and framing
+    # ------------------------------------------------------------------
+    def _validate(self, array: np.ndarray) -> np.ndarray:
+        array = np.asarray(array)
+        if array.dtype not in _DTYPE_CODES:
+            raise UnsupportedDtypeError(
+                f"{self.info.name} expects float32/float64 input, "
+                f"got dtype {array.dtype}"
+            )
+        if not self.info.supports_dtype(array.dtype):
+            precisions = ",".join(sorted(self.info.precisions))
+            raise UnsupportedDtypeError(
+                f"{self.info.name} supports only precision(s) {precisions}; "
+                f"got {array.dtype} (upcast float32 inputs explicitly, as the "
+                "paper's harness does)"
+            )
+        if self.max_input_bytes is not None and array.nbytes > self.max_input_bytes:
+            from repro.errors import InputTooLargeError
+
+            raise InputTooLargeError(
+                f"{self.info.name} accepts at most {self.max_input_bytes} bytes, "
+                f"got {array.nbytes}"
+            )
+        return np.ascontiguousarray(array)
+
+    @staticmethod
+    def _pack_header(array: np.ndarray) -> bytes:
+        parts = [bytes([_MAGIC, _DTYPE_CODES[array.dtype]])]
+        parts.append(encode_uvarint(array.ndim))
+        for extent in array.shape:
+            parts.append(encode_uvarint(extent))
+        return b"".join(parts)
+
+    @staticmethod
+    def _unpack_header(blob: bytes) -> tuple[tuple[int, ...], np.dtype, int]:
+        if len(blob) < 2 or blob[0] != _MAGIC:
+            raise CorruptStreamError("missing compressor stream magic byte")
+        dtype = _CODE_DTYPES.get(blob[1])
+        if dtype is None:
+            raise CorruptStreamError(f"unknown dtype code {blob[1]}")
+        ndim, offset = decode_uvarint(blob, 2)
+        if ndim > 8:
+            raise CorruptStreamError(f"implausible rank {ndim} in header")
+        shape = []
+        for _ in range(ndim):
+            extent, offset = decode_uvarint(blob, offset)
+            shape.append(extent)
+        return tuple(shape), dtype, offset
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, type[Compressor]] = {}
+
+#: Column order used by the paper's Tables 4-6 (left to right).
+PAPER_TABLE_ORDER = (
+    "pfpc",
+    "spdp",
+    "fpzip",
+    "bitshuffle-lz4",
+    "bitshuffle-zstd",
+    "ndzip-cpu",
+    "buff",
+    "gorilla",
+    "chimp",
+    "gfc",
+    "mpc",
+    "nvcomp-lz4",
+    "nvcomp-bitcomp",
+    "ndzip-gpu",
+)
+
+
+def register(cls: type[Compressor]) -> type[Compressor]:
+    """Class decorator adding a compressor to the registry."""
+    name = cls.info.name
+    if name in _REGISTRY:
+        raise ValueError(f"compressor {name!r} registered twice")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_compressor(name: str, **kwargs: object) -> Compressor:
+    """Instantiate a registered compressor by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown compressor {name!r}; known: {known}") from None
+    return cls(**kwargs)
+
+
+def compressor_names() -> list[str]:
+    """All registered method names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def paper_table_order() -> list[str]:
+    """Registered methods in the paper's table column order."""
+    return [name for name in PAPER_TABLE_ORDER if name in _REGISTRY]

@@ -1,0 +1,158 @@
+"""GFC: warp-parallel delta compression for double-precision data.
+
+Paper section 4.1.  GFC splits the input into chunks that map onto GPU
+warps; each warp compresses independent 32-value subchunks by
+subtracting the last value of the previous subchunk from every value of
+the current one, then encoding each residual as a 4-bit prefix (1 sign
+bit + 3 bits of leading-zero byte count) followed by the residual's
+non-zero bytes.
+
+Two documented limitations are reproduced deliberately:
+
+* the delta predictor is inaccurate for multidimensional data because
+  all 32 residuals share one base value (hence GFC's last-place ranking
+  in Figure 7b), and
+* inputs larger than 512 MB are rejected (the "-" cells of Table 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.base import Compressor, MethodInfo, register
+from repro.compressors.util import float_bits
+from repro.encodings.varint import decode_uvarint, encode_uvarint
+from repro.errors import CorruptStreamError
+from repro.gpu.device import DeviceModel
+from repro.perf.cost import CostModel, KernelSpec, ParallelismSpec
+
+__all__ = ["GfcCompressor", "GFC_MAX_INPUT_BYTES"]
+
+_SUBCHUNK = 32
+GFC_MAX_INPUT_BYTES = 512 * 1024 * 1024
+
+
+@register
+class GfcCompressor(Compressor):
+    """GFC (O'Neil & Burtscher, 2011), double-precision only."""
+
+    info = MethodInfo(
+        name="gfc",
+        display_name="GFC",
+        year=2011,
+        domain="HPC",
+        precisions=frozenset({"D"}),
+        platform="gpu",
+        parallelism="SIMT",
+        language="CUDA C",
+        trait="delta",
+        predictor_family="delta",
+    )
+    cost = CostModel(
+        platform="gpu",
+        parallelism=ParallelismSpec(kind="simt", default_threads=32),
+        compress_kernels=(
+            KernelSpec("warp_delta_encode", int_ops=16.0, bytes_touched=4.0),
+        ),
+        decompress_kernels=(
+            KernelSpec("warp_delta_decode", int_ops=14.0, bytes_touched=4.0),
+        ),
+        anchor_compress_gbs=87.778,
+        anchor_decompress_gbs=99.258,
+        divergence=0.18,
+        transfer_efficiency=0.5,
+        footprint_factor=2.0,
+    )
+    max_input_bytes = GFC_MAX_INPUT_BYTES
+
+    def __init__(self) -> None:
+        self.device = DeviceModel()
+
+    def _compress(self, array: np.ndarray) -> bytes:
+        self.device.reset()
+        self.device.copy_to_device(array.nbytes)
+        bits = float_bits(array.ravel())
+        n = bits.size
+        out = bytearray()
+        out += encode_uvarint(n)
+        if n == 0:
+            return bytes(out)
+
+        # Base value per subchunk: last value of the previous subchunk.
+        bases = np.zeros(-(-n // _SUBCHUNK), dtype=np.uint64)
+        last_indices = np.arange(_SUBCHUNK - 1, n, _SUBCHUNK)
+        bases[1 : 1 + len(last_indices)] = bits[last_indices][: len(bases) - 1]
+        residual = bits - np.repeat(bases, _SUBCHUNK)[:n]
+
+        # Sign and magnitude of the wrapped two's-complement residual.
+        negative = residual >> np.uint64(63) == 1
+        magnitude = np.where(negative, (~residual) + np.uint64(1), residual)
+        nonzero_bytes = np.maximum((significant := _bit_lengths(magnitude)), 1)
+        nonzero_bytes = (nonzero_bytes + 7) // 8
+
+        codes = bytearray()
+        data = bytearray()
+        mags = magnitude.tolist()
+        lengths = nonzero_bytes.tolist()
+        negs = negative.tolist()
+        pending = -1
+        for index in range(n):
+            nbytes = lengths[index]
+            code = (8 if negs[index] else 0) | (8 - nbytes)
+            if pending < 0:
+                pending = code
+            else:
+                codes.append((pending << 4) | code)
+                pending = -1
+            data += mags[index].to_bytes(8, "little")[:nbytes]
+        if pending >= 0:
+            codes.append(pending << 4)
+
+        self.device.launch(
+            "gfc_warp_compress",
+            grid_blocks=max(len(bases), 1),
+            threads_per_block=_SUBCHUNK,
+            divergence=self.cost.divergence,
+        )
+        out += codes
+        out += data
+        self.device.copy_to_host(len(out))
+        return bytes(out)
+
+    def _decompress(
+        self, payload: bytes, shape: tuple[int, ...], dtype: np.dtype
+    ) -> np.ndarray:
+        n, offset = decode_uvarint(payload, 0)
+        out = np.empty(n, dtype=np.uint64)
+        if n == 0:
+            return out.view(np.float64)
+        code_len = (n + 1) // 2
+        codes = payload[offset : offset + code_len]
+        if len(codes) < code_len:
+            raise CorruptStreamError("GFC code stream truncated")
+        pos = offset + code_len
+        base = np.uint64(0)
+        for index in range(n):
+            packed = codes[index >> 1]
+            code = (packed >> 4) if index % 2 == 0 else (packed & 0x0F)
+            nbytes = 8 - (code & 0x07)
+            if pos + nbytes > len(payload):
+                raise CorruptStreamError("GFC residual stream truncated")
+            magnitude = int.from_bytes(payload[pos : pos + nbytes], "little")
+            pos += nbytes
+            if code & 0x08:
+                residual = (-magnitude) & 0xFFFFFFFFFFFFFFFF
+            else:
+                residual = magnitude
+            value = (int(base) + residual) & 0xFFFFFFFFFFFFFFFF
+            out[index] = value
+            if index % _SUBCHUNK == _SUBCHUNK - 1:
+                base = out[index]
+        return out.view(np.float64)
+
+
+def _bit_lengths(values: np.ndarray) -> np.ndarray:
+    """Bit length per uint64 value (vectorized)."""
+    from repro.compressors.util import significant_bits
+
+    return significant_bits(values).astype(np.int64)

@@ -1,0 +1,138 @@
+"""Shared bit-level utilities for the floating-point compressors.
+
+These helpers implement the operations that recur across the surveyed
+methods: reinterpreting IEEE 754 values as integers, the monotonic
+sign-magnitude mapping used by prediction-based coders, vectorized
+leading/trailing-zero counts, and the bit-transpose that bitshuffle, MPC,
+and ndzip all rely on (paper sections 3.7, 3.8, 4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import UnsupportedDtypeError
+
+__all__ = [
+    "UINT_FOR_FLOAT",
+    "float_bits",
+    "bits_to_float",
+    "sign_magnitude_map",
+    "sign_magnitude_unmap",
+    "significant_bits",
+    "leading_zeros",
+    "trailing_zeros",
+    "bit_transpose",
+    "bit_untranspose",
+]
+
+UINT_FOR_FLOAT = {
+    np.dtype(np.float32): np.dtype(np.uint32),
+    np.dtype(np.float64): np.dtype(np.uint64),
+}
+
+
+def float_bits(array: np.ndarray) -> np.ndarray:
+    """Reinterpret a float array as its IEEE 754 bit pattern (uint view)."""
+    dtype = UINT_FOR_FLOAT.get(array.dtype)
+    if dtype is None:
+        raise UnsupportedDtypeError(
+            f"expected float32/float64 array, got dtype {array.dtype}"
+        )
+    return array.view(dtype)
+
+
+def bits_to_float(bits: np.ndarray) -> np.ndarray:
+    """Reinterpret uint32/uint64 bit patterns back as floats."""
+    if bits.dtype == np.uint32:
+        return bits.view(np.float32)
+    if bits.dtype == np.uint64:
+        return bits.view(np.float64)
+    raise UnsupportedDtypeError(
+        f"expected uint32/uint64 bit patterns, got dtype {bits.dtype}"
+    )
+
+
+def sign_magnitude_map(bits: np.ndarray) -> np.ndarray:
+    """Map IEEE bit patterns to integers ordered like the float values.
+
+    Positive floats map to ``bits | sign``, negative floats to ``~bits``;
+    the result is monotone in the float value, so numerically close values
+    give small integer differences — the property fpzip and ndzip exploit
+    before their Lorenzo transforms (paper sections 3.1, 3.8).
+    """
+    width = bits.dtype.itemsize * 8
+    sign = bits >> np.uint64(width - 1) if width == 64 else bits >> np.uint32(31)
+    top = (np.uint64(1) << np.uint64(63)) if width == 64 else np.uint32(1 << 31)
+    return np.where(sign.astype(bool), ~bits, bits | top)
+
+
+def sign_magnitude_unmap(mapped: np.ndarray) -> np.ndarray:
+    """Invert :func:`sign_magnitude_map`."""
+    width = mapped.dtype.itemsize * 8
+    top = (np.uint64(1) << np.uint64(63)) if width == 64 else np.uint32(1 << 31)
+    has_top = (mapped & top).astype(bool)
+    return np.where(has_top, mapped & ~top, ~mapped)
+
+
+def significant_bits(values: np.ndarray) -> np.ndarray:
+    """Vectorized bit length: position of the highest set bit plus one.
+
+    Zero maps to zero.  Works on any unsigned integer dtype using pure
+    integer shifts, so it is exact beyond the 2**53 float precision limit.
+    """
+    values = np.asarray(values)
+    width = values.dtype.itemsize * 8
+    result = np.zeros(values.shape, dtype=np.uint8)
+    work = values.copy()
+    shift = width // 2
+    while shift:
+        mask = work >= (np.asarray(1, dtype=values.dtype) << np.asarray(shift, dtype=values.dtype))
+        result[mask] += np.uint8(shift)
+        work = np.where(mask, work >> np.asarray(shift, dtype=values.dtype), work)
+        shift //= 2
+    result[values != 0] += np.uint8(1)
+    return result
+
+
+def leading_zeros(values: np.ndarray) -> np.ndarray:
+    """Vectorized count of leading zero bits at the values' native width."""
+    values = np.asarray(values)
+    width = values.dtype.itemsize * 8
+    return (np.uint8(width) - significant_bits(values)).astype(np.uint8)
+
+
+def trailing_zeros(values: np.ndarray) -> np.ndarray:
+    """Vectorized count of trailing zero bits; zero maps to full width."""
+    values = np.asarray(values)
+    width = values.dtype.itemsize * 8
+    lowest = values & (~values + np.asarray(1, dtype=values.dtype))
+    result = (significant_bits(lowest) - np.uint8(1)).astype(np.int16)
+    result[values == 0] = width
+    return result.astype(np.uint8)
+
+
+def bit_transpose(block: np.ndarray) -> np.ndarray:
+    """Bit-level transpose of a (n_values, word_bits) block.
+
+    Input is a flat unsigned-int array; output is a uint8 array holding
+    the transposed bit matrix: all values' bit 0 first (packed into
+    bytes), then all bit 1, and so on.  This is the core of bitshuffle
+    (section 3.7) and MPC's BIT component (section 4.2).
+    """
+    words = np.asarray(block)
+    width = words.dtype.itemsize * 8
+    # unpackbits works on uint8; view big-endian so bit order is MSB first.
+    be = words.astype(words.dtype.newbyteorder(">"), copy=False)
+    bits = np.unpackbits(be.view(np.uint8)).reshape(len(words), width)
+    return np.packbits(bits.T)
+
+
+def bit_untranspose(packed: np.ndarray, n_values: int, dtype: np.dtype) -> np.ndarray:
+    """Invert :func:`bit_transpose` for ``n_values`` words of ``dtype``."""
+    dtype = np.dtype(dtype)
+    width = dtype.itemsize * 8
+    bits = np.unpackbits(np.asarray(packed, dtype=np.uint8), count=width * n_values)
+    matrix = bits.reshape(width, n_values).T
+    be_bytes = np.packbits(matrix.reshape(-1))
+    return be_bytes.view(dtype.newbyteorder(">")).astype(dtype)

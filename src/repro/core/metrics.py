@@ -1,0 +1,76 @@
+"""Evaluation metrics (paper section 5.2).
+
+    CR = original size / compressed size
+    CT = original size / compression time
+    DT = original size / decompression time
+
+Aggregation follows the paper: harmonic mean for ratios, arithmetic
+mean for throughputs and wall times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import Measurement
+from repro.stats.descriptive import arithmetic_mean, harmonic_mean
+
+__all__ = [
+    "compression_ratio",
+    "throughput_gbs",
+    "method_mean_cr",
+    "method_mean_throughput",
+    "method_mean_wall_ms",
+    "decompression_asymmetry",
+]
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    """CR = original / compressed."""
+    if compressed_bytes <= 0:
+        raise ValueError("compressed size must be positive")
+    return original_bytes / compressed_bytes
+
+
+def throughput_gbs(original_bytes: int, seconds: float) -> float:
+    """Throughput in GB/s given processing time in seconds."""
+    if seconds <= 0:
+        raise ValueError("time must be positive")
+    return original_bytes / seconds / 1e9
+
+
+def method_mean_cr(measurements: list[Measurement]) -> float:
+    """Harmonic-mean CR over successful measurements (Figure 7a)."""
+    ratios = [m.compression_ratio for m in measurements if m.ok]
+    if not ratios:
+        return float("nan")
+    return harmonic_mean(ratios)
+
+
+def method_mean_throughput(
+    measurements: list[Measurement], direction: str = "compress"
+) -> float:
+    """Arithmetic-mean modeled throughput in GB/s (Figure 8, Table 5)."""
+    attr = "compress_gbs" if direction == "compress" else "decompress_gbs"
+    values = [getattr(m, attr) for m in measurements if m.ok]
+    if not values:
+        return float("nan")
+    return arithmetic_mean(values)
+
+
+def method_mean_wall_ms(
+    measurements: list[Measurement], direction: str = "compress"
+) -> float:
+    """Arithmetic-mean modeled end-to-end wall time in ms (Table 6)."""
+    attr = "compress_wall_ms" if direction == "compress" else "decompress_wall_ms"
+    values = [getattr(m, attr) for m in measurements if m.ok]
+    if not values:
+        return float("nan")
+    return arithmetic_mean(values)
+
+
+def decompression_asymmetry(ct_gbs: float, dt_gbs: float) -> float:
+    """Figure 9's r_D = (CT - DT) / CT; positive means compression faster."""
+    if not np.isfinite(ct_gbs) or ct_gbs <= 0:
+        return float("nan")
+    return (ct_gbs - dt_gbs) / ct_gbs

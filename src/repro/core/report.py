@@ -1,0 +1,114 @@
+"""Fixed-width rendering of tables and text figures.
+
+Every experiment driver renders its output through these helpers so the
+regenerated tables read like the paper's: datasets as rows, the 14
+methods as columns, domain-average separators, and "-" for skipped or
+failed cells.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.stats.descriptive import BoxplotStats
+
+__all__ = ["format_table", "format_matrix", "ascii_boxplot", "ascii_bars"]
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[str]],
+    title: str = "",
+) -> str:
+    """Render rows of pre-formatted strings as an aligned text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_matrix(
+    row_names: list[str],
+    col_names: list[str],
+    matrix: np.ndarray,
+    title: str = "",
+    fmt: str = "{:.3f}",
+    row_header: str = "dataset",
+) -> str:
+    """Render a numeric matrix with NaN cells shown as "-"."""
+
+    def cell(value: float) -> str:
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return "-"
+        return fmt.format(value)
+
+    rows = [
+        [name, *(cell(matrix[i, j]) for j in range(matrix.shape[1]))]
+        for i, name in enumerate(row_names)
+    ]
+    return format_table([row_header, *col_names], rows, title=title)
+
+
+def ascii_boxplot(
+    stats: BoxplotStats, lo: float, hi: float, width: int = 60
+) -> str:
+    """One-line box-and-whisker rendering on a [lo, hi] axis."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+
+    def col(value: float) -> int:
+        clamped = min(max(value, lo), hi)
+        return int(round((clamped - lo) / span * (width - 1)))
+
+    line = [" "] * width
+    for pos in range(col(stats.whisker_low), col(stats.whisker_high) + 1):
+        line[pos] = "-"
+    for pos in range(col(stats.q1), col(stats.q3) + 1):
+        line[pos] = "="
+    line[col(stats.median)] = "|"
+    for outlier in stats.outliers:
+        line[col(outlier)] = "o"
+    return "".join(line)
+
+
+def ascii_bars(
+    labels: list[str],
+    values: list[float],
+    width: int = 48,
+    fmt: str = "{:.3f}",
+    log_scale: bool = False,
+) -> str:
+    """Horizontal bar chart (Figures 7a and 8 are rendered with this)."""
+    finite = [v for v in values if v is not None and math.isfinite(v) and v > 0]
+    if not finite:
+        return "(no data)"
+    if log_scale:
+        lo = math.log10(min(finite))
+        hi = math.log10(max(finite))
+    else:
+        lo, hi = 0.0, max(finite)
+    span = max(hi - lo, 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        if value is None or not math.isfinite(value):
+            lines.append(f"{label.rjust(label_width)}  -")
+            continue
+        scaled = math.log10(value) if log_scale else value
+        bar = "#" * max(int(round((scaled - lo) / span * width)), 1)
+        lines.append(
+            f"{label.rjust(label_width)}  {bar} {fmt.format(value)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Full-suite orchestration with on-disk caching.
+
+Running all 14 table methods over all 33 datasets takes a couple of
+minutes with pure-Python codecs, and a dozen benchmarks all need the
+same matrix, so suite runs are cached as JSON keyed by their exact
+configuration.  Dzip is excluded from the default method list exactly
+as the paper excludes it from the headline tables (section 4.5).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+from repro.compressors import paper_table_order
+from repro.core.results import ResultSet
+from repro.core.runner import BenchmarkRunner
+from repro.data.catalog import CATALOG, get_spec
+from repro.data.loader import DEFAULT_TARGET_ELEMENTS, load
+
+__all__ = ["run_suite", "default_methods", "default_datasets", "cache_dir"]
+
+#: Bump when any compressor, generator, or cost model changes, so stale
+#: suite caches are never reused.
+_CACHE_VERSION = "v12"
+
+
+def default_methods() -> list[str]:
+    """The 14 table methods in the paper's column order (no Dzip)."""
+    return paper_table_order()
+
+
+def default_datasets() -> list[str]:
+    """All 33 Table 3 datasets in catalog order."""
+    return [spec.name for spec in CATALOG]
+
+
+def cache_dir() -> Path:
+    """Directory for suite caches (override with FCBENCH_CACHE_DIR)."""
+    root = os.environ.get("FCBENCH_CACHE_DIR")
+    path = Path(root) if root else Path(__file__).resolve().parents[3] / ".fcbench_cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _cache_key(
+    methods: list[str], datasets: list[str], target_elements: int, seed: int
+) -> str:
+    digest = hashlib.sha256(
+        "|".join(
+            [_CACHE_VERSION, *methods, *datasets, str(target_elements), str(seed)]
+        ).encode()
+    ).hexdigest()[:20]
+    return f"suite_{digest}.json"
+
+
+def run_suite(
+    methods: list[str] | None = None,
+    datasets: list[str] | None = None,
+    target_elements: int = DEFAULT_TARGET_ELEMENTS,
+    seed: int = 0,
+    use_cache: bool = True,
+    runner: BenchmarkRunner | None = None,
+    progress: bool = False,
+) -> ResultSet:
+    """Evaluate ``methods`` x ``datasets`` and return the result matrix.
+
+    Results are cached on disk; pass ``use_cache=False`` (or a custom
+    ``runner``) to force re-execution.
+    """
+    methods = methods or default_methods()
+    datasets = datasets or default_datasets()
+
+    cache_path = cache_dir() / _cache_key(methods, datasets, target_elements, seed)
+    if use_cache and runner is None and cache_path.exists():
+        return ResultSet.from_json(cache_path)
+
+    default_runner = runner is None
+    runner = runner or BenchmarkRunner()
+    results = ResultSet()
+    for dataset in datasets:
+        spec = get_spec(dataset)
+        array = load(dataset, target_elements, seed)
+        for method in methods:
+            measurement = runner.run_cell(method, array, spec)
+            results.add(measurement)
+            if progress:
+                status = (
+                    f"CR={measurement.compression_ratio:.3f}"
+                    if measurement.ok
+                    else f"skip ({measurement.error})"
+                )
+                print(f"  {dataset:16s} {method:16s} {status}", flush=True)
+    if use_cache and default_runner:
+        results.to_json(cache_path)
+    return results

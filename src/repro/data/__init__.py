@@ -1,0 +1,27 @@
+"""The 33-dataset benchmark corpus (Table 3) and its synthetic generators."""
+
+from repro.data.catalog import (
+    CATALOG,
+    DatasetSpec,
+    dataset_names,
+    domains,
+    get_spec,
+)
+from repro.data.entropy import byte_entropy, value_entropy
+from repro.data.generators import available_generators, generate
+from repro.data.loader import DEFAULT_TARGET_ELEMENTS, load, load_spec
+
+__all__ = [
+    "CATALOG",
+    "DEFAULT_TARGET_ELEMENTS",
+    "DatasetSpec",
+    "available_generators",
+    "byte_entropy",
+    "dataset_names",
+    "domains",
+    "generate",
+    "get_spec",
+    "load",
+    "load_spec",
+    "value_entropy",
+]

@@ -1,0 +1,201 @@
+"""The 33-dataset catalog of Table 3.
+
+Every dataset the paper evaluates is described here with its domain,
+precision, paper extent, paper byte size, and published value entropy.
+The real files (SDRBench, Kaggle, MAST, TPC, ...) are not redistributable
+and total ~14 GB, so :mod:`repro.data.generators` synthesizes a stand-in
+for each entry that preserves the properties the paper says drive
+compressibility: dimensionality, dtype, smoothness/structure, decimal
+precision, and value-entropy class.  The ``generator`` field names the
+recipe and ``params`` tunes it per dataset.
+
+Scaled extents shrink each dataset to a tractable size while keeping the
+aspect structure (a 3-D field stays 3-D); the paper's sizes are kept for
+the size-limit logic (GFC's 512 MB bound produces Table 4's "-" cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = ["DatasetSpec", "CATALOG", "get_spec", "dataset_names", "domains"]
+
+#: Paper's GFC limit; datasets above it show "-" in Table 4.
+GFC_LIMIT_BYTES = 512 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table 3 plus its synthetic generator recipe."""
+
+    name: str
+    domain: str  # "HPC" | "TS" | "OBS" | "DB"
+    dtype: str  # "f32" | "f64"
+    paper_extent: tuple[int, ...]
+    paper_bytes: int
+    paper_entropy: float
+    generator: str
+    params: dict = field(default_factory=dict)
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(np.float32 if self.dtype == "f32" else np.float64)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.paper_extent)
+
+    @property
+    def exceeds_gfc_limit(self) -> bool:
+        """True when the paper-scale dataset breaks GFC's 512 MB bound."""
+        return self.paper_bytes > GFC_LIMIT_BYTES
+
+    def scaled_extent(self, target_elements: int) -> tuple[int, ...]:
+        """Shrink the paper extent to about ``target_elements``, keeping rank.
+
+        Column-like trailing axes (tables with up to ~160 columns) are
+        preserved exactly — shrinking them would destroy the tabular
+        structure the DB/TS generators rely on — while the long axes
+        shrink proportionally with a floor of 4.
+        """
+        extent = list(self.paper_extent)
+        paper_elements = 1
+        for dim in extent:
+            paper_elements *= dim
+        if paper_elements <= target_elements:
+            return self.paper_extent
+        keep_last = self.ndim >= 2 and extent[-1] <= 160
+        shrink_axes = list(range(self.ndim - 1)) if keep_last else list(
+            range(self.ndim)
+        )
+        fixed = extent[-1] if keep_last else 1
+        current = 1
+        for axis in shrink_axes:
+            current *= extent[axis]
+        budget = max(target_elements // fixed, 4)
+        ratio = (budget / current) ** (1.0 / len(shrink_axes))
+        if ratio < 1.0:
+            for axis in shrink_axes:
+                extent[axis] = max(4, int(round(extent[axis] * ratio)))
+        return tuple(extent)
+
+
+def _hpc(name, dtype, extent, nbytes, entropy, generator, **params):
+    return DatasetSpec(name, "HPC", dtype, extent, nbytes, entropy, generator, params)
+
+
+def _ts(name, dtype, extent, nbytes, entropy, generator, **params):
+    return DatasetSpec(name, "TS", dtype, extent, nbytes, entropy, generator, params)
+
+
+def _obs(name, dtype, extent, nbytes, entropy, generator, **params):
+    return DatasetSpec(name, "OBS", dtype, extent, nbytes, entropy, generator, params)
+
+
+def _db(name, dtype, extent, nbytes, entropy, generator, **params):
+    return DatasetSpec(name, "DB", dtype, extent, nbytes, entropy, generator, params)
+
+
+CATALOG: tuple[DatasetSpec, ...] = (
+    # ------------------------------------------------------------- HPC
+    _hpc("msg-bt", "f64", (33298679,), 266_389_432, 23.67,
+         "trajectory", roughness=0.35, scale=1e3),
+    _hpc("num-brain", "f64", (17730000,), 141_840_000, 23.97,
+         "trajectory", roughness=0.55, scale=1.0, decimals=4),
+    _hpc("num-control", "f64", (19938093,), 159_504_744, 24.14,
+         "trajectory", roughness=0.8, scale=10.0, decimals=3),
+    _hpc("rsim", "f32", (2048, 11509), 94_281_728, 18.50,
+         "smooth_field", octaves=4, noise=2e-5, offset=1.0),
+    _hpc("astro-mhd", "f64", (130, 514, 1026), 548_458_560, 0.97,
+         "sparse_field", fill=0.02, octaves=2, noise=0.0),
+    _hpc("astro-pt", "f64", (512, 256, 640), 671_088_640, 26.32,
+         "smooth_field", octaves=5, noise=1e-7),
+    _hpc("miranda3d", "f32", (1024, 1024, 1024), 4_294_967_296, 23.08,
+         "smooth_field", octaves=4, noise=2e-6, offset=1.5),
+    _hpc("turbulence", "f32", (256, 256, 256), 67_108_864, 23.73,
+         "smooth_field", octaves=6, noise=1e-4),
+    _hpc("wave", "f32", (512, 512, 512), 536_870_912, 25.27,
+         "wavefield", frequency=6.0, noise=1e-6),
+    _hpc("hurricane", "f32", (100, 500, 500), 100_000_000, 23.54,
+         "smooth_field", octaves=5, noise=5e-5, offset=10.0),
+    # -------------------------------------------------------------- TS
+    _ts("citytemp", "f32", (2906326,), 11_625_304, 9.43,
+        "sensor", decimals=1, period=24.0, amplitude=12.0, level=22.0,
+        noise_frac=0.08),
+    _ts("ts-gas", "f32", (76863200,), 307_452_800, 13.94,
+        "sensor", decimals=None, period=1800.0, amplitude=80.0, level=400.0),
+    _ts("phone-gyro", "f64", (13932632, 3), 334_383_168, 14.77,
+        "sensor", decimals=3, period=97.0, amplitude=2.0, level=0.0),
+    _ts("wesad-chest", "f64", (4255300, 8), 272_339_200, 13.85,
+        "sensor", decimals=2, period=700.0, amplitude=1.0, level=0.5),
+    _ts("jane-street", "f64", (1664520, 136), 1_810_997_760, 26.07,
+        "market", decimals=None, volatility=0.02),
+    _ts("nyc-taxi", "f64", (12744846, 7), 713_711_376, 13.17,
+        "prices", decimals=2, mean=18.0, spread=12.0, outlier_rate=0.10),
+    _ts("gas-price", "f64", (36942486, 3), 886_619_664, 8.66,
+        "prices", decimals=3, mean=1.4, spread=0.25, outlier_rate=0.02),
+    _ts("solar-wind", "f32", (7571081, 14), 423_980_536, 14.06,
+        "sensor", decimals=None, period=400.0, amplitude=30.0, level=300.0),
+    # ------------------------------------------------------------- OBS
+    _obs("acs-wht", "f32", (7500, 7500), 225_000_000, 20.13,
+         "starfield", density=3e-3, background=0.08, read_noise=0.004),
+    _obs("hdr-night", "f32", (8192, 16384), 536_870_912, 9.03,
+         "hdr_image", dynamic_range=4.0, detail=0.08, quantized=True),
+    _obs("hdr-palermo", "f32", (10268, 20536), 843_454_592, 9.34,
+         "hdr_image", dynamic_range=5.0, detail=0.12, quantized=True),
+    _obs("hst-wfc3-uvis", "f32", (5329, 5110), 108_924_760, 15.61,
+         "starfield", density=1.5e-3, background=0.4, read_noise=0.01),
+    _obs("hst-wfc3-ir", "f32", (2484, 2417), 24_015_312, 15.04,
+         "starfield", density=2e-3, background=0.5, read_noise=0.008),
+    _obs("spitzer-irac", "f32", (6456, 6389), 164_989_536, 20.54,
+         "starfield", density=4e-3, background=0.12, read_noise=0.006),
+    _obs("g24-78-usb", "f32", (2426, 371, 371), 1_335_668_264, 26.02,
+         "spectral_cube", lines=24, noise=0.3),
+    _obs("jws-mirimage", "f32", (40, 1024, 1032), 169_082_880, 23.16,
+         "starfield", density=2e-3, background=6.0, read_noise=1.5,
+         psf_sigma=0.6, frames=40),
+    # -------------------------------------------------------------- DB
+    _db("tpcH-order", "f64", (15000000,), 120_000_000, 23.40,
+        "tpc_money", low=800.0, high=600000.0, decimals=2),
+    _db("tpcxBB-store", "f64", (8228343, 12), 789_920_928, 16.73,
+        "tpc_mixed", decimals=2, qty_high=1000, rate_levels=1000),
+    _db("tpcxBB-web", "f64", (8223189, 15), 986_782_680, 17.64,
+        "tpc_mixed", decimals=2, qty_high=1000, rate_levels=1000),
+    _db("tpcH-lineitem", "f32", (59986051, 4), 959_776_816, 8.87,
+        "tpc_mixed", decimals=2, money_high=10_500_000, qty_high=50,
+        rate_levels=11),
+    _db("tpcDS-catalog", "f32", (2880058, 15), 172_803_480, 17.34,
+        "tpc_mixed", decimals=2, key_columns=5),
+    _db("tpcDS-store", "f32", (5760749, 12), 276_515_952, 15.17,
+        "tpc_mixed", decimals=2, key_columns=4),
+    _db("tpcDS-web", "f32", (1439247, 15), 86_354_820, 17.33,
+        "tpc_mixed", decimals=2, key_columns=5),
+)
+
+_BY_NAME = {spec.name: spec for spec in CATALOG}
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset descriptor by its Table 3 name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known: {', '.join(sorted(_BY_NAME))}"
+        ) from None
+
+
+def dataset_names(domain: str | None = None) -> list[str]:
+    """All dataset names, optionally filtered by domain."""
+    if domain is None:
+        return [spec.name for spec in CATALOG]
+    return [spec.name for spec in CATALOG if spec.domain == domain]
+
+
+def domains() -> list[str]:
+    """The four evaluation domains, in the paper's order."""
+    return ["HPC", "TS", "OBS", "DB"]

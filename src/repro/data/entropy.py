@@ -1,0 +1,38 @@
+"""Entropy estimators for dataset characterization (Table 3's column).
+
+The paper reports a per-dataset "entropy" that matches the Shannon
+entropy of the exact value distribution (in bits per value): nearly-
+distinct datasets approach ``log2(n)`` while tonal/sparse datasets (e.g.
+astro-mhd at 0.97) sit near zero.  Byte-level entropy is also provided
+for codec-oriented analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["value_entropy", "byte_entropy"]
+
+
+def value_entropy(array: np.ndarray) -> float:
+    """Shannon entropy of the exact value multiset, in bits per value."""
+    if array.size == 0:
+        return 0.0
+    # Compare bit patterns so NaNs with different payloads stay distinct.
+    bits = array.ravel().view(
+        np.uint32 if array.dtype == np.float32 else np.uint64
+    )
+    _, counts = np.unique(bits, return_counts=True)
+    p = counts / counts.sum()
+    return float(-(p * np.log2(p)).sum())
+
+
+def byte_entropy(array: np.ndarray) -> float:
+    """Shannon entropy of the raw byte stream, in bits per byte."""
+    if array.size == 0:
+        return 0.0
+    counts = np.bincount(
+        np.frombuffer(array.tobytes(), dtype=np.uint8), minlength=256
+    )
+    p = counts[counts > 0] / counts.sum()
+    return float(-(p * np.log2(p)).sum())

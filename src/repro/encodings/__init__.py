@@ -1,0 +1,51 @@
+"""Shared encoding substrates: bit I/O, entropy coders, and LZ codecs.
+
+Every compressor in :mod:`repro.compressors` is assembled from these
+primitives, mirroring how the surveyed methods are built from classical
+coding blocks (paper section 2.2).
+"""
+
+from repro.encodings.arithmetic import (
+    AdaptiveBitModel,
+    BinaryArithmeticDecoder,
+    BinaryArithmeticEncoder,
+)
+from repro.encodings.bitio import BitReader, BitWriter
+from repro.encodings.huffman import huffman_decode, huffman_encode
+from repro.encodings.lz4 import lz4_compress, lz4_decompress
+from repro.encodings.range_coder import (
+    AdaptiveSymbolModel,
+    RangeDecoder,
+    RangeEncoder,
+)
+from repro.encodings.rle import rle_decode, rle_encode
+from repro.encodings.varint import (
+    decode_svarint,
+    decode_uvarint,
+    encode_svarint,
+    encode_uvarint,
+)
+from repro.encodings.zstd_like import zstd_compress, zstd_decompress
+
+__all__ = [
+    "AdaptiveBitModel",
+    "AdaptiveSymbolModel",
+    "BinaryArithmeticDecoder",
+    "BinaryArithmeticEncoder",
+    "BitReader",
+    "BitWriter",
+    "RangeDecoder",
+    "RangeEncoder",
+    "decode_svarint",
+    "decode_uvarint",
+    "encode_svarint",
+    "encode_uvarint",
+    "huffman_decode",
+    "huffman_encode",
+    "lz4_compress",
+    "lz4_decompress",
+    "rle_decode",
+    "rle_encode",
+    "zstd_compress",
+    "zstd_decompress",
+]

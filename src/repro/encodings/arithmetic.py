@@ -1,0 +1,179 @@
+"""Adaptive binary arithmetic coding.
+
+Arithmetic coding (paper section 2.2, encoding method 3) encodes a symbol
+sequence against a cumulative distribution and approaches entropy more
+closely than Huffman coding as sequences grow.  The binary coder here is
+the entropy back-end of the Dzip reproduction: a predictive model supplies
+``P(bit = 1)`` for every bit and the coder turns those probabilities into
+a near-entropy bit stream.
+
+The implementation is the classic 32-bit low/high coder with pending-bit
+(bit-plus-follow) carry resolution.
+"""
+
+from __future__ import annotations
+
+from repro.encodings.bitio import BitReader, BitWriter
+
+__all__ = [
+    "PROBABILITY_BITS",
+    "PROBABILITY_ONE",
+    "BinaryArithmeticEncoder",
+    "BinaryArithmeticDecoder",
+    "AdaptiveBitModel",
+]
+
+PROBABILITY_BITS = 16
+PROBABILITY_ONE = 1 << PROBABILITY_BITS
+
+_FULL = (1 << 32) - 1
+_HALF = 1 << 31
+_QUARTER = 1 << 30
+_THREE_QUARTERS = 3 << 30
+
+
+class BinaryArithmeticEncoder:
+    """Encodes a bit sequence given per-bit probabilities of a one."""
+
+    def __init__(self) -> None:
+        self._low = 0
+        self._high = _FULL
+        self._pending = 0
+        self._writer = BitWriter()
+        self._finished = False
+
+    def _emit(self, bit: int) -> None:
+        self._writer.write_bits(bit, 1)
+        if self._pending:
+            inverse = 0 if bit else 1
+            for _ in range(self._pending):
+                self._writer.write_bits(inverse, 1)
+            self._pending = 0
+
+    def encode(self, bit: int, prob_one: int) -> None:
+        """Encode one bit; ``prob_one`` is P(bit=1) in 16-bit fixed point.
+
+        ``prob_one`` is clamped to [1, PROBABILITY_ONE - 1] so both
+        branches always keep non-zero coding space.
+        """
+        if self._finished:
+            raise RuntimeError("encoder already finished")
+        p1 = min(max(prob_one, 1), PROBABILITY_ONE - 1)
+        span = self._high - self._low
+        # Upper part of the interval encodes the one branch.
+        split = self._low + ((span * (PROBABILITY_ONE - p1)) >> PROBABILITY_BITS)
+        if bit:
+            self._low = split + 1
+        else:
+            self._high = split
+        while True:
+            if self._high < _HALF:
+                self._emit(0)
+            elif self._low >= _HALF:
+                self._emit(1)
+                self._low -= _HALF
+                self._high -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTERS:
+                self._pending += 1
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+            else:
+                break
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+
+    def finish(self) -> bytes:
+        """Flush the final interval and return the encoded stream."""
+        if not self._finished:
+            self._finished = True
+            self._pending += 1
+            if self._low < _QUARTER:
+                self._emit(0)
+            else:
+                self._emit(1)
+        return self._writer.getvalue()
+
+
+class BinaryArithmeticDecoder:
+    """Decodes a stream produced by :class:`BinaryArithmeticEncoder`.
+
+    The caller must replay the *same* probability sequence used during
+    encoding; this is guaranteed by using the same adaptive model updated
+    with the decoded bits.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._reader = BitReader(data)
+        self._low = 0
+        self._high = _FULL
+        self._value = 0
+        for _ in range(32):
+            self._value = (self._value << 1) | self._next_bit()
+
+    def _next_bit(self) -> int:
+        if self._reader.remaining:
+            return self._reader.read_bits(1)
+        return 0
+
+    def decode(self, prob_one: int) -> int:
+        """Decode one bit given the model's P(bit=1)."""
+        p1 = min(max(prob_one, 1), PROBABILITY_ONE - 1)
+        span = self._high - self._low
+        split = self._low + ((span * (PROBABILITY_ONE - p1)) >> PROBABILITY_BITS)
+        if self._value > split:
+            bit = 1
+            self._low = split + 1
+        else:
+            bit = 0
+            self._high = split
+        while True:
+            if self._high < _HALF:
+                pass
+            elif self._low >= _HALF:
+                self._low -= _HALF
+                self._high -= _HALF
+                self._value -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTERS:
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+                self._value -= _QUARTER
+            else:
+                break
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+            self._value = (self._value << 1) | self._next_bit()
+        return bit
+
+
+class AdaptiveBitModel:
+    """Counts-based adaptive estimate of P(bit=1).
+
+    Uses Krichevsky-Trofimov style counts with periodic halving so the
+    model tracks non-stationary statistics, which floating-point byte
+    streams exhibit heavily.
+    """
+
+    __slots__ = ("_ones", "_total")
+
+    def __init__(self) -> None:
+        self._ones = 1
+        self._total = 2
+
+    @property
+    def prob_one(self) -> int:
+        """Current P(bit=1) in 16-bit fixed point, clamped to (0, 1).
+
+        Halving can leave ``ones == total``; the clamp keeps both
+        branches of the coder alive regardless.
+        """
+        raw = (self._ones * PROBABILITY_ONE) // self._total
+        return min(max(raw, 1), PROBABILITY_ONE - 1)
+
+    def update(self, bit: int) -> None:
+        """Fold an observed bit into the estimate."""
+        self._total += 1
+        if bit:
+            self._ones += 1
+        if self._total >= 1024:
+            self._ones = (self._ones + 1) >> 1
+            self._total = (self._total + 1) >> 1

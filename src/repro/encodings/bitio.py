@@ -1,0 +1,152 @@
+"""MSB-first bit stream reader and writer.
+
+These primitives back every bit-oriented codec in the repository (Gorilla,
+Chimp, fpzip residual coding, ndzip headers, the Huffman and arithmetic
+coders).  Bits are packed most-significant-bit first, matching the byte
+order used by the original C implementations of the surveyed compressors.
+
+The writer accumulates bits in a Python integer and flushes whole bytes
+eagerly so the accumulator stays small; the reader decodes an arbitrary
+bit span with a single ``int.from_bytes`` call over the covering bytes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorruptStreamError
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulates an MSB-first bit stream into a growable byte buffer."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def __len__(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._buf) * 8 + self._nbits
+
+    @property
+    def bit_length(self) -> int:
+        """Alias for ``len(self)`` with a self-documenting name."""
+        return len(self)
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (any truthy value counts as 1)."""
+        self.write_bits(1 if bit else 0, 1)
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` bits of ``value``, MSB first.
+
+        ``value`` is masked to ``nbits`` bits, so negative residuals can be
+        passed directly in two's-complement form.
+        """
+        if nbits < 0:
+            raise ValueError(f"nbits must be non-negative, got {nbits}")
+        if nbits == 0:
+            return
+        self._acc = (self._acc << nbits) | (value & ((1 << nbits) - 1))
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._buf.append((self._acc >> self._nbits) & 0xFF)
+        self._acc &= (1 << self._nbits) - 1
+
+    def write_unary(self, count: int) -> None:
+        """Append ``count`` one-bits followed by a terminating zero bit."""
+        if count < 0:
+            raise ValueError(f"unary count must be non-negative, got {count}")
+        while count >= 32:
+            self.write_bits(0xFFFFFFFF, 32)
+            count -= 32
+        self.write_bits((1 << (count + 1)) - 2, count + 1)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes; fast path when the stream is byte-aligned."""
+        if self._nbits == 0:
+            self._buf.extend(data)
+        else:
+            for byte in data:
+                self.write_bits(byte, 8)
+
+    def align_to_byte(self) -> None:
+        """Pad with zero bits up to the next byte boundary."""
+        if self._nbits:
+            self.write_bits(0, 8 - self._nbits)
+
+    def getvalue(self) -> bytes:
+        """Return the stream as bytes, zero-padding any trailing partial byte."""
+        if self._nbits == 0:
+            return bytes(self._buf)
+        pad = 8 - self._nbits
+        return bytes(self._buf) + bytes([(self._acc << pad) & 0xFF])
+
+
+class BitReader:
+    """Reads an MSB-first bit stream produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._pos = 0
+        self._limit = len(self._data) * 8
+
+    @property
+    def position(self) -> int:
+        """Current bit offset from the start of the stream."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits (including any writer padding)."""
+        return self._limit - self._pos
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read_bits(1)
+
+    def read_bits(self, nbits: int) -> int:
+        """Read ``nbits`` bits and return them as an unsigned integer."""
+        if nbits < 0:
+            raise ValueError(f"nbits must be non-negative, got {nbits}")
+        if nbits == 0:
+            return 0
+        end = self._pos + nbits
+        if end > self._limit:
+            raise CorruptStreamError(
+                f"bit stream exhausted: need {nbits} bits at offset "
+                f"{self._pos}, only {self.remaining} remain"
+            )
+        byte_start = self._pos >> 3
+        byte_end = (end + 7) >> 3
+        chunk = int.from_bytes(self._data[byte_start:byte_end], "big")
+        shift = byte_end * 8 - end
+        self._pos = end
+        return (chunk >> shift) & ((1 << nbits) - 1)
+
+    def read_unary(self) -> int:
+        """Read a unary-coded count (ones terminated by a zero bit)."""
+        count = 0
+        while self.read_bits(1):
+            count += 1
+        return count
+
+    def read_bytes(self, nbytes: int) -> bytes:
+        """Read ``nbytes`` whole bytes; fast path when byte-aligned."""
+        if self._pos & 7 == 0:
+            start = self._pos >> 3
+            end = start + nbytes
+            if end * 8 > self._limit:
+                raise CorruptStreamError(
+                    f"bit stream exhausted: need {nbytes} bytes at byte "
+                    f"offset {start}, stream has {len(self._data)}"
+                )
+            self._pos = end * 8
+            return self._data[start:end]
+        return bytes(self.read_bits(8) for _ in range(nbytes))
+
+    def align_to_byte(self) -> None:
+        """Skip forward to the next byte boundary."""
+        self._pos = (self._pos + 7) & ~7

@@ -1,0 +1,153 @@
+"""Greedy LZ77 matching with a hash-chain matcher.
+
+LZ77 (Ziv & Lempel, 1977) underlies three of the surveyed methods: the
+LZ4 back-ends of bitshuffle and nvCOMP, the zstd-style entropy-coded LZ,
+and SPDP's LZa6 reducer (paper section 3.2), which the authors describe
+as "a fast variant of the LZ77".  All of them share this matcher and
+differ in token serialization and search parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "find_tokens", "MIN_MATCH"]
+
+MIN_MATCH = 4
+_HASH_SHIFT = 20
+
+
+@dataclass(frozen=True)
+class Token:
+    """One LZ77 sequence: a literal run followed by an optional match.
+
+    ``match_length == 0`` marks the stream-final literals-only token.
+    """
+
+    literals: bytes
+    match_length: int
+    match_distance: int
+
+
+def _hash4(data: bytes, pos: int) -> int:
+    """Multiplicative hash of the 4 bytes at ``pos`` (Fibonacci hashing)."""
+    word = int.from_bytes(data[pos : pos + 4], "little")
+    return (word * 2654435761) >> _HASH_SHIFT & 0xFFF
+
+
+def _match_length(data: bytes, a: int, b: int, limit: int) -> int:
+    """Longest common prefix of data[a:] and data[b:], capped at ``limit``."""
+    n = 0
+    while n + 8 <= limit and data[a + n : a + n + 8] == data[b + n : b + n + 8]:
+        n += 8
+    while n < limit and data[a + n] == data[b + n]:
+        n += 1
+    return n
+
+
+def find_tokens(
+    data: bytes,
+    *,
+    window: int = 1 << 16,
+    max_chain: int = 16,
+    min_match: int = MIN_MATCH,
+    max_match: int | None = None,
+    lazy: bool = False,
+) -> list[Token]:
+    """Factor ``data`` into LZ77 tokens with greedy longest-match search.
+
+    ``window`` bounds match distances, ``max_chain`` bounds how many
+    earlier candidate positions are probed per step (the ratio/throughput
+    trade-off the paper highlights for SPDP), and ``max_match`` optionally
+    caps match lengths for formats with small length fields.  ``lazy``
+    enables one-step lazy parsing (probe the next position before
+    committing a match), the ratio-over-speed choice Zstandard makes.
+    """
+    n = len(data)
+    tokens: list[Token] = []
+    if n < min_match:
+        if n:
+            tokens.append(Token(bytes(data), 0, 0))
+        return tokens
+
+    head: dict[int, list[int]] = {}
+
+    def probe(position: int) -> tuple[int, int]:
+        candidates = head.get(_hash4(data, position))
+        best_len = 0
+        best_dist = 0
+        if candidates:
+            limit = n - position
+            if max_match is not None and max_match < limit:
+                limit = max_match
+            for candidate in reversed(candidates):
+                distance = position - candidate
+                if distance > window:
+                    break
+                length = _match_length(data, candidate, position, limit)
+                if length > best_len:
+                    best_len = length
+                    best_dist = distance
+                    if length >= limit:
+                        break
+        return best_len, best_dist
+
+    def index_position(position: int) -> None:
+        chain = head.setdefault(_hash4(data, position), [])
+        chain.append(position)
+        if len(chain) > max_chain:
+            del chain[0 : len(chain) - max_chain]
+
+    literal_start = 0
+    pos = 0
+    last_match_start = n - min_match
+    while pos <= last_match_start:
+        key = _hash4(data, pos)
+        best_len, best_dist = probe(pos)
+        if lazy and min_match <= best_len and pos + 1 <= last_match_start:
+            index_position(pos)
+            next_len, next_dist = probe(pos + 1)
+            if next_len > best_len:
+                pos += 1  # defer: the next position matches longer
+                best_len, best_dist = next_len, next_dist
+        if best_len >= min_match:
+            tokens.append(
+                Token(bytes(data[literal_start:pos]), best_len, best_dist)
+            )
+            end = pos + best_len
+            # Index the skipped positions sparsely to keep insertion cheap
+            # while still letting future matches reach into this span.
+            step = 1 if best_len <= 32 else 3
+            insert = pos
+            while insert < end and insert <= last_match_start:
+                chain = head.setdefault(_hash4(data, insert), [])
+                chain.append(insert)
+                if len(chain) > max_chain:
+                    del chain[0 : len(chain) - max_chain]
+                insert += step
+            pos = end
+            literal_start = end
+        else:
+            chain = head.setdefault(key, [])
+            chain.append(pos)
+            if len(chain) > max_chain:
+                del chain[0 : len(chain) - max_chain]
+            # LZ4-style skip acceleration: the longer the current literal
+            # run, the larger the stride through incompressible regions.
+            pos += 1 + ((pos - literal_start) >> 6)
+    tokens.append(Token(bytes(data[literal_start:]), 0, 0))
+    return tokens
+
+
+def reassemble(tokens: list[Token]) -> bytes:
+    """Expand tokens back into the original byte stream (reference decoder)."""
+    out = bytearray()
+    for token in tokens:
+        out += token.literals
+        if token.match_length:
+            start = len(out) - token.match_distance
+            if start < 0:
+                raise ValueError("match distance reaches before stream start")
+            for offset in range(token.match_length):
+                out.append(out[start + offset])
+    return bytes(out)

@@ -1,0 +1,181 @@
+"""Byte-oriented carry-less range coder with adaptive symbol models.
+
+fpzip (paper section 3.1) encodes residual sign and leading-zero symbols
+with "a fast range coding method" (Martin, 1979).  This module implements
+the Subbotin carry-less variant: the coder renormalizes a byte at a time,
+and underflow is resolved by clamping the range rather than propagating
+carries into already-emitted bytes.
+
+:class:`AdaptiveSymbolModel` provides the frequency tables; encoder and
+decoder must drive identical model instances.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorruptStreamError
+
+__all__ = ["RangeEncoder", "RangeDecoder", "AdaptiveSymbolModel"]
+
+_TOP = 1 << 24
+_BOTTOM = 1 << 16
+_MASK = (1 << 32) - 1
+
+
+class RangeEncoder:
+    """Encodes symbols as (cumulative frequency, frequency, total) triples."""
+
+    def __init__(self) -> None:
+        self._low = 0
+        self._range = _MASK
+        self._out = bytearray()
+        self._finished = False
+
+    def encode(self, cum_freq: int, freq: int, total: int) -> None:
+        """Narrow the interval to ``[cum_freq, cum_freq + freq) / total``."""
+        if self._finished:
+            raise RuntimeError("encoder already finished")
+        if freq <= 0 or cum_freq + freq > total or total > _BOTTOM:
+            raise ValueError(
+                f"invalid frequency triple ({cum_freq}, {freq}, {total})"
+            )
+        unit = self._range // total
+        self._low = (self._low + unit * cum_freq) & _MASK
+        self._range = unit * freq
+        self._normalize()
+
+    def _normalize(self) -> None:
+        while True:
+            if (self._low ^ (self._low + self._range)) & _MASK < _TOP:
+                pass  # Top byte settled; emit it.
+            elif self._range < _BOTTOM:
+                # Underflow: clamp range so the top byte settles without a
+                # carry ever reaching emitted bytes.
+                self._range = (-self._low) & (_BOTTOM - 1)
+            else:
+                return
+            self._out.append((self._low >> 24) & 0xFF)
+            self._low = (self._low << 8) & _MASK
+            self._range = (self._range << 8) & _MASK
+
+    def finish(self) -> bytes:
+        """Flush the remaining interval bytes and return the stream."""
+        if not self._finished:
+            self._finished = True
+            for _ in range(4):
+                self._out.append((self._low >> 24) & 0xFF)
+                self._low = (self._low << 8) & _MASK
+        return bytes(self._out)
+
+
+class RangeDecoder:
+    """Decodes streams produced by :class:`RangeEncoder`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self._low = 0
+        self._range = _MASK
+        self._code = 0
+        for _ in range(4):
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK
+
+    def _next_byte(self) -> int:
+        if self._pos < len(self._data):
+            byte = self._data[self._pos]
+            self._pos += 1
+            return byte
+        return 0
+
+    def decode_target(self, total: int) -> int:
+        """Return a value in ``[0, total)`` locating the next symbol."""
+        if total > _BOTTOM:
+            raise ValueError(f"total frequency {total} exceeds coder capacity")
+        unit = self._range // total
+        target = ((self._code - self._low) & _MASK) // unit
+        if target >= total:
+            raise CorruptStreamError("range coder target outside model total")
+        return target
+
+    def consume(self, cum_freq: int, freq: int, total: int) -> None:
+        """Consume the symbol identified from :meth:`decode_target`."""
+        unit = self._range // total
+        self._low = (self._low + unit * cum_freq) & _MASK
+        self._range = unit * freq
+        while True:
+            if (self._low ^ (self._low + self._range)) & _MASK < _TOP:
+                pass
+            elif self._range < _BOTTOM:
+                self._range = (-self._low) & (_BOTTOM - 1)
+            else:
+                return
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK
+            self._low = (self._low << 8) & _MASK
+            self._range = (self._range << 8) & _MASK
+
+
+class AdaptiveSymbolModel:
+    """Adaptive frequency table over a small symbol alphabet.
+
+    Frequencies start uniform and increase with each observation; the
+    table is halved when the total approaches the coder's 16-bit capacity,
+    giving the model an exponential-forgetting window.
+    """
+
+    def __init__(self, num_symbols: int, increment: int = 32) -> None:
+        if num_symbols < 1:
+            raise ValueError("model needs at least one symbol")
+        self._freq = [1] * num_symbols
+        self._total = num_symbols
+        self._increment = increment
+
+    @property
+    def num_symbols(self) -> int:
+        return len(self._freq)
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def interval(self, symbol: int) -> tuple[int, int, int]:
+        """Return ``(cum_freq, freq, total)`` for ``symbol``."""
+        cum = 0
+        freq = self._freq
+        for index in range(symbol):
+            cum += freq[index]
+        return cum, freq[symbol], self._total
+
+    def locate(self, target: int) -> tuple[int, int, int, int]:
+        """Map a decoder target to ``(symbol, cum_freq, freq, total)``."""
+        cum = 0
+        for symbol, freq in enumerate(self._freq):
+            if target < cum + freq:
+                return symbol, cum, freq, self._total
+            cum += freq
+        raise CorruptStreamError("decoder target beyond cumulative total")
+
+    def update(self, symbol: int) -> None:
+        """Increase the count of ``symbol``, halving the table on overflow."""
+        self._freq[symbol] += self._increment
+        self._total += self._increment
+        if self._total > _BOTTOM - 256:
+            total = 0
+            freq = self._freq
+            for index, value in enumerate(freq):
+                value = (value + 1) >> 1
+                freq[index] = value
+                total += value
+            self._total = total
+
+    def encode_symbol(self, encoder: RangeEncoder, symbol: int) -> None:
+        """Encode ``symbol`` and update the model."""
+        cum, freq, total = self.interval(symbol)
+        encoder.encode(cum, freq, total)
+        self.update(symbol)
+
+    def decode_symbol(self, decoder: RangeDecoder) -> int:
+        """Decode the next symbol and update the model."""
+        target = decoder.decode_target(self._total)
+        symbol, cum, freq, total = self.locate(target)
+        decoder.consume(cum, freq, total)
+        self.update(symbol)
+        return symbol

@@ -1,0 +1,75 @@
+"""LEB128 variable-length integers and zigzag signed mapping.
+
+Varints carry the header metadata of nearly every compressor in the
+repository (array shapes, block counts, compressed-chunk sizes), keeping
+container overhead proportional to the magnitude of the stored values.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorruptStreamError
+
+__all__ = [
+    "encode_uvarint",
+    "decode_uvarint",
+    "encode_svarint",
+    "decode_svarint",
+    "zigzag_encode",
+    "zigzag_decode",
+]
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as little-endian base-128 (LEB128)."""
+    if value < 0:
+        raise ValueError(f"uvarint requires a non-negative value, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a LEB128 integer; returns ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise CorruptStreamError(
+                f"truncated uvarint at offset {offset} (stream length {len(data)})"
+            )
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise CorruptStreamError(f"uvarint at offset {offset} exceeds 64 bits")
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer to an unsigned one (0, -1, 1, -2 -> 0, 1, 2, 3)."""
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Invert :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_svarint(value: int) -> bytes:
+    """Encode a signed integer via zigzag + LEB128."""
+    return encode_uvarint(zigzag_encode(value))
+
+
+def decode_svarint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a zigzag + LEB128 signed integer; returns ``(value, next_offset)``."""
+    raw, pos = decode_uvarint(data, offset)
+    return zigzag_decode(raw), pos

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CorruptStreamError(ReproError):
+    """A compressed stream is truncated, malformed, or fails validation."""
+
+
+class UnsupportedDtypeError(ReproError):
+    """A compressor was given an array dtype it does not support.
+
+    Mirrors Table 1 of the paper: pFPC and GFC are double-precision only,
+    and every studied method is restricted to float32/float64.
+    """
+
+
+class InputTooLargeError(ReproError):
+    """An input exceeds a method's documented size limit.
+
+    GFC (paper section 4.1) rejects inputs larger than 512 MB; the scaled
+    reproduction enforces a proportional threshold.
+    """
+
+
+class PrecisionError(ReproError):
+    """BUFF was asked for a decimal precision outside its lookup table."""
+
+
+class StorageError(ReproError):
+    """The container file is malformed or an operation on it is invalid."""
+
+
+class DatasetError(ReproError):
+    """A dataset descriptor is unknown or a generator was misconfigured."""

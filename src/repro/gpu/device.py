@@ -1,0 +1,115 @@
+"""Simulated GPU device: transfers, kernel launches, execution traces.
+
+The paper's five GPU methods (GFC, MPC, nvCOMP::LZ4, nvCOMP::bitcomp,
+ndzip-GPU) run on a Quadro RTX 6000.  This reproduction executes their
+*algorithms* in numpy but routes every host-to-device copy and kernel
+launch through this device model, so the end-to-end accounting (Table 6's
+"host-to-device is slow" observation) reflects the same event structure a
+CUDA profiler would record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf.hardware import QUADRO_RTX_6000, GpuSpec
+
+__all__ = ["KernelLaunch", "Transfer", "ExecutionTrace", "DeviceModel"]
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One recorded kernel launch."""
+
+    name: str
+    grid_blocks: int
+    threads_per_block: int
+    divergence: float  # fraction of lane-cycles serialized by branching
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_blocks * self.threads_per_block
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One recorded PCIe transfer."""
+
+    direction: str  # "h2d" | "d2h"
+    nbytes: int
+
+
+@dataclass
+class ExecutionTrace:
+    """Accumulated device activity for one compression call."""
+
+    launches: list[KernelLaunch] = field(default_factory=list)
+    transfers: list[Transfer] = field(default_factory=list)
+
+    @property
+    def h2d_bytes(self) -> int:
+        return sum(t.nbytes for t in self.transfers if t.direction == "h2d")
+
+    @property
+    def d2h_bytes(self) -> int:
+        return sum(t.nbytes for t in self.transfers if t.direction == "d2h")
+
+    @property
+    def launch_count(self) -> int:
+        return len(self.launches)
+
+    def transfer_seconds(self, gpu: GpuSpec = QUADRO_RTX_6000) -> float:
+        """Modeled PCIe time for every recorded transfer."""
+        total_bytes = self.h2d_bytes + self.d2h_bytes
+        per_transfer_latency = gpu.pcie_latency_us * 1e-6
+        return (
+            total_bytes / (gpu.pcie_bandwidth_gbs * 1e9)
+            + len(self.transfers) * per_transfer_latency
+        )
+
+    def launch_seconds(self, gpu: GpuSpec = QUADRO_RTX_6000) -> float:
+        """Modeled CUDA launch overhead for every recorded kernel."""
+        return self.launch_count * gpu.kernel_launch_us * 1e-6
+
+
+class DeviceModel:
+    """Records the device-side activity of a simulated GPU compressor."""
+
+    def __init__(self, spec: GpuSpec = QUADRO_RTX_6000) -> None:
+        self.spec = spec
+        self.trace = ExecutionTrace()
+
+    def reset(self) -> None:
+        """Clear the trace before a new compression call."""
+        self.trace = ExecutionTrace()
+
+    def copy_to_device(self, nbytes: int) -> None:
+        """Record a host-to-device transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        self.trace.transfers.append(Transfer("h2d", nbytes))
+
+    def copy_to_host(self, nbytes: int) -> None:
+        """Record a device-to-host transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        self.trace.transfers.append(Transfer("d2h", nbytes))
+
+    def launch(
+        self,
+        name: str,
+        grid_blocks: int,
+        threads_per_block: int,
+        divergence: float = 0.0,
+    ) -> KernelLaunch:
+        """Record a kernel launch; returns the launch record."""
+        if grid_blocks < 1 or threads_per_block < 1:
+            raise ValueError("kernel launch needs at least one block and thread")
+        if threads_per_block > self.spec.threads_per_sm:
+            raise ValueError(
+                f"{threads_per_block} threads/block exceeds the device "
+                f"limit of {self.spec.threads_per_sm}"
+            )
+        launch = KernelLaunch(name, grid_blocks, threads_per_block, divergence)
+        self.trace.launches.append(launch)
+        return launch

@@ -1,0 +1,87 @@
+"""SIMT execution helpers: warp chunking, divergence, stream compaction.
+
+The GPU compressors structure their work exactly as the paper describes:
+GFC processes 32-value subchunks per warp (section 4.1), MPC processes
+1024-element chunks (4.2), and ndzip-GPU compacts variable-length encoded
+blocks with a parallel prefix sum over chunk offsets (4.4).  These
+helpers provide that structure plus *measured* branch divergence, i.e.
+how often lanes of a warp disagree on a data-dependent branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pad_to_multiple",
+    "warp_chunks",
+    "exclusive_prefix_sum",
+    "compact_chunks",
+    "measure_divergence",
+]
+
+
+def pad_to_multiple(array: np.ndarray, multiple: int) -> tuple[np.ndarray, int]:
+    """Pad a 1-D array with zeros to a length multiple; returns (padded, pad)."""
+    if array.ndim != 1:
+        raise ValueError("warp padding expects a flat array")
+    remainder = len(array) % multiple
+    if remainder == 0:
+        return array, 0
+    pad = multiple - remainder
+    return np.concatenate([array, np.zeros(pad, dtype=array.dtype)]), pad
+
+
+def warp_chunks(array: np.ndarray, chunk: int) -> np.ndarray:
+    """View a padded flat array as (n_chunks, chunk) warp-shaped rows."""
+    if len(array) % chunk:
+        raise ValueError(
+            f"array length {len(array)} is not a multiple of chunk {chunk}; "
+            "pad first with pad_to_multiple"
+        )
+    return array.reshape(-1, chunk)
+
+
+def exclusive_prefix_sum(sizes: np.ndarray) -> np.ndarray:
+    """Output offsets for variable-length chunks (ndzip-GPU's scratch copy).
+
+    Matches the parallel scan a GPU implementation would run to place each
+    warp's compressed chunk in the output stream without synchronization.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    return offsets
+
+
+def compact_chunks(chunks: list[bytes]) -> tuple[bytes, np.ndarray]:
+    """Concatenate per-warp outputs; returns (stream, offsets).
+
+    The offsets table is what makes decompression "fully block-wise
+    parallel without synchronization" (paper section 4.4).
+    """
+    sizes = np.fromiter((len(c) for c in chunks), dtype=np.int64, count=len(chunks))
+    offsets = exclusive_prefix_sum(sizes)
+    return b"".join(chunks), offsets
+
+
+def measure_divergence(lane_predicates: np.ndarray, warp_size: int = 32) -> float:
+    """Fraction of warps whose lanes disagree on a branch predicate.
+
+    ``lane_predicates`` is a flat boolean array with one entry per lane
+    (one per element processed).  A warp diverges when it contains both
+    taken and not-taken lanes; SIMT hardware then serializes both paths.
+    This is the statistic behind the paper's takeaway that dictionary
+    methods are "more prone to branch divergence" on GPUs.
+    """
+    flat = np.asarray(lane_predicates, dtype=bool).ravel()
+    if flat.size == 0:
+        return 0.0
+    usable = (flat.size // warp_size) * warp_size
+    if usable == 0:
+        # A single partial warp: diverged if both outcomes present.
+        return float(flat.any() and not flat.all())
+    warps = flat[:usable].reshape(-1, warp_size)
+    taken = warps.sum(axis=1)
+    diverged = (taken > 0) & (taken < warp_size)
+    return float(diverged.mean())

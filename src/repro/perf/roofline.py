@@ -1,0 +1,97 @@
+"""Roofline model analysis (paper section 6.3, Figure 11).
+
+The roofline model (Williams et al., 2009) plots each method's dominant
+kernel at (arithmetic intensity, achieved performance) under the roof
+formed by peak compute and peak memory bandwidth.  The paper profiles the
+hottest loop of every compressor with Intel Advisor / Nsight Compute; we
+obtain the same quantities from the cost models' structural parameters:
+
+* arithmetic intensity = ops per byte of traffic in the dominant kernel,
+* achieved performance = ops/byte x modeled throughput.
+
+Observation 10 of the paper falls out of this placement: GPU methods sit
+near the memory roof, ndzip is compute bound, and the serial CPU methods
+float far below both roofs (overhead bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.cost import CostModel
+from repro.perf.hardware import QUADRO_RTX_6000, XEON_GOLD_6126, CpuSpec, GpuSpec
+
+__all__ = ["RooflinePoint", "analyze", "cpu_roof_gops", "gpu_roof_gops"]
+
+# A method counts as bound by its limiting resource once it achieves this
+# fraction of the roof; below it we call it overhead bound (serial methods).
+_BOUND_THRESHOLD = 0.2
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One method's placement in the roofline plot."""
+
+    method: str
+    kernel: str
+    platform: str
+    arithmetic_intensity: float
+    achieved_gops: float
+    roof_gops: float
+    bound: str  # "memory" | "compute" | "overhead"
+
+    @property
+    def roof_fraction(self) -> float:
+        return self.achieved_gops / self.roof_gops if self.roof_gops else 0.0
+
+
+def cpu_roof_gops(ai: float, cpu: CpuSpec = XEON_GOLD_6126) -> float:
+    """CPU roof (GINTOP/s) at arithmetic intensity ``ai`` (DRAM level)."""
+    return min(cpu.scalar_int_gops, ai * cpu.dram_bandwidth_gbs)
+
+
+def gpu_roof_gops(ai: float, gpu: GpuSpec = QUADRO_RTX_6000) -> float:
+    """GPU roof (GOP/s) at arithmetic intensity ``ai`` (DRAM level)."""
+    return min(gpu.int_gops, ai * gpu.dram_bandwidth_gbs)
+
+
+def analyze(
+    method: str,
+    cost: CostModel,
+    throughput_gbs: float,
+    direction: str = "compress",
+    *,
+    cpu: CpuSpec = XEON_GOLD_6126,
+    gpu: GpuSpec = QUADRO_RTX_6000,
+) -> RooflinePoint:
+    """Place one method's dominant kernel under the roofline.
+
+    ``throughput_gbs`` is the modeled end throughput in input GB/s; the
+    dominant kernel's achieved op rate follows from its ops-per-byte.
+    """
+    kernel = cost.dominant_kernel(direction)
+    ai = kernel.arithmetic_intensity
+    achieved = kernel.total_ops * throughput_gbs  # GOP/s
+    if cost.platform == "cpu":
+        peak = cpu.scalar_int_gops
+        bandwidth = cpu.dram_bandwidth_gbs
+    else:
+        peak = gpu.int_gops
+        bandwidth = gpu.dram_bandwidth_gbs
+    memory_roof = ai * bandwidth
+    roof = min(peak, memory_roof)
+    if achieved < _BOUND_THRESHOLD * roof:
+        bound = "overhead"
+    elif memory_roof <= peak:
+        bound = "memory"
+    else:
+        bound = "compute"
+    return RooflinePoint(
+        method=method,
+        kernel=kernel.name,
+        platform=cost.platform,
+        arithmetic_intensity=ai,
+        achieved_gops=achieved,
+        roof_gops=roof,
+        bound=bound,
+    )

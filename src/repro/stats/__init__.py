@@ -1,0 +1,34 @@
+"""Statistical toolkit: Friedman/Nemenyi ranking and Mann-Whitney tests."""
+
+from repro.stats.cd_diagram import render_cd_diagram
+from repro.stats.descriptive import (
+    BoxplotStats,
+    arithmetic_mean,
+    boxplot_stats,
+    harmonic_mean,
+)
+from repro.stats.friedman import FriedmanResult, friedman_test
+from repro.stats.mannwhitney import MannWhitneyResult, mann_whitney_u
+from repro.stats.nemenyi import (
+    NemenyiResult,
+    critical_difference,
+    nemenyi_test,
+)
+from repro.stats.ranking import average_ranks, rank_matrix
+
+__all__ = [
+    "BoxplotStats",
+    "FriedmanResult",
+    "MannWhitneyResult",
+    "NemenyiResult",
+    "arithmetic_mean",
+    "average_ranks",
+    "boxplot_stats",
+    "critical_difference",
+    "friedman_test",
+    "harmonic_mean",
+    "mann_whitney_u",
+    "nemenyi_test",
+    "rank_matrix",
+    "render_cd_diagram",
+]

@@ -1,0 +1,61 @@
+"""Text rendering of the critical-difference diagram (Figure 7b).
+
+Lays methods out on a horizontal rank axis, best (lowest average rank)
+at the left, and draws connecting bars under every maximal clique of
+methods whose rank difference stays within the critical difference —
+the standard Demsar CD diagram, rendered in fixed-width characters.
+"""
+
+from __future__ import annotations
+
+from repro.stats.nemenyi import NemenyiResult
+
+__all__ = ["render_cd_diagram"]
+
+
+def render_cd_diagram(result: NemenyiResult, width: int = 78) -> str:
+    """Render a CD diagram as a multi-line string."""
+    ordered = result.ordered()
+    ranks = [rank for _, rank in ordered]
+    lo = min(ranks)
+    hi = max(ranks)
+    span = max(hi - lo, 1e-9)
+    axis_width = width - 2
+
+    def column(rank: float) -> int:
+        return int(round((rank - lo) / span * (axis_width - 1)))
+
+    lines: list[str] = []
+    lines.append(
+        f"CD = {result.critical_difference:.3f} "
+        f"(alpha-level Nemenyi, {len(result.methods)} methods)"
+    )
+
+    # Rank axis with tick positions.
+    axis = ["-"] * axis_width
+    for _, rank in ordered:
+        axis[column(rank)] = "+"
+    lines.append("".join(axis))
+
+    # Labels, one per line, connected to their tick with a vertical bar
+    # budget; stagger to avoid collisions.
+    for name, rank in ordered:
+        col = column(rank)
+        label = f"{name} ({rank:.2f})"
+        pad = min(col, axis_width - len(label))
+        lines.append(" " * max(pad, 0) + label)
+
+    # Clique bars.
+    cliques = result.cliques()
+    if cliques:
+        lines.append("")
+        lines.append("cliques (no significant difference):")
+        rank_of = dict(ordered)
+        for clique in cliques:
+            start = column(min(rank_of[m] for m in clique))
+            stop = column(max(rank_of[m] for m in clique))
+            bar = [" "] * axis_width
+            for pos in range(start, stop + 1):
+                bar[pos] = "="
+            lines.append("".join(bar) + "  " + ", ".join(clique))
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Descriptive aggregates used throughout the evaluation.
+
+The paper aggregates with the *harmonic* mean for compression ratios
+and the *arithmetic* mean for throughputs (section 5.2), and describes
+distributions with boxplot five-number summaries (Figures 5 and 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["harmonic_mean", "arithmetic_mean", "BoxplotStats", "boxplot_stats"]
+
+
+def harmonic_mean(values: np.ndarray | list[float]) -> float:
+    """Harmonic mean over finite positive entries (NaN entries skipped)."""
+    array = np.asarray(values, dtype=np.float64)
+    array = array[np.isfinite(array)]
+    if array.size == 0:
+        return float("nan")
+    if (array <= 0).any():
+        raise ValueError("harmonic mean requires positive values")
+    return float(array.size / (1.0 / array).sum())
+
+
+def arithmetic_mean(values: np.ndarray | list[float]) -> float:
+    """Arithmetic mean over finite entries (NaN entries skipped)."""
+    array = np.asarray(values, dtype=np.float64)
+    array = array[np.isfinite(array)]
+    if array.size == 0:
+        return float("nan")
+    return float(array.mean())
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary plus outliers (Tukey fences)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple[float, ...]
+
+
+def boxplot_stats(values: np.ndarray | list[float]) -> BoxplotStats:
+    """Tukey boxplot statistics of a sample (NaN entries skipped)."""
+    array = np.asarray(values, dtype=np.float64)
+    array = array[np.isfinite(array)]
+    if array.size == 0:
+        raise ValueError("boxplot of an empty sample")
+    q1, median, q3 = (float(q) for q in np.percentile(array, [25, 50, 75]))
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    inside = array[(array >= low_fence) & (array <= high_fence)]
+    whisker_low = float(inside.min()) if inside.size else q1
+    whisker_high = float(inside.max()) if inside.size else q3
+    outliers = tuple(
+        float(v) for v in np.sort(array[(array < low_fence) | (array > high_fence)])
+    )
+    return BoxplotStats(
+        minimum=float(array.min()),
+        q1=q1,
+        median=median,
+        q3=q3,
+        maximum=float(array.max()),
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outliers=outliers,
+    )

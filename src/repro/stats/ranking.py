@@ -1,0 +1,62 @@
+"""Average-rank computation over a methods x datasets score matrix.
+
+The Friedman/Nemenyi workflow (paper sections 2.4, 5.4) starts from the
+rank of every method on every dataset: rank 1 is the best score, ties
+share the mean of the ranks they span, and missing entries (a method
+that errored or was size-limited on a dataset, the "-" cells of Table 4)
+are assigned the worst rank on that dataset, which is how benchmark
+studies conventionally penalize failures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rank_matrix", "average_ranks"]
+
+
+def _rank_row(scores: np.ndarray, higher_is_better: bool) -> np.ndarray:
+    """Fractional ranks for one dataset row; NaN entries get worst rank."""
+    k = len(scores)
+    ranks = np.empty(k, dtype=np.float64)
+    missing = np.isnan(scores)
+    valid = scores[~missing]
+    ordered = np.sort(valid)
+    if higher_is_better:
+        ordered = ordered[::-1]
+    # Fractional ranking: ties share the mean of their rank span.
+    for index, score in enumerate(scores):
+        if missing[index]:
+            continue
+        if higher_is_better:
+            better = (valid > score).sum()
+            equal = (valid == score).sum()
+        else:
+            better = (valid < score).sum()
+            equal = (valid == score).sum()
+        ranks[index] = better + (equal + 1) / 2.0
+    # Failures are tied at the worst rank among all k methods.
+    if missing.any():
+        n_missing = missing.sum()
+        worst = (~missing).sum() + (n_missing + 1) / 2.0
+        ranks[missing] = worst
+    return ranks
+
+
+def rank_matrix(
+    scores: np.ndarray, higher_is_better: bool = True
+) -> np.ndarray:
+    """Per-dataset fractional ranks of a (datasets x methods) matrix."""
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"expected a 2-D score matrix, got rank {scores.ndim}")
+    return np.vstack(
+        [_rank_row(row, higher_is_better) for row in scores]
+    )
+
+
+def average_ranks(
+    scores: np.ndarray, higher_is_better: bool = True
+) -> np.ndarray:
+    """Column means of :func:`rank_matrix` (lower is better)."""
+    return rank_matrix(scores, higher_is_better).mean(axis=0)

@@ -1,0 +1,42 @@
+"""Simulated in-memory database substrate (paper section 5.1.2).
+
+Chunked container files with compressor filter pipelines, a minimal
+column dataframe, a disk model, paged compression, and the query
+micro-benchmark engine.
+"""
+
+from repro.storage.container import (
+    ChunkInfo,
+    ContainerReader,
+    ContainerWriter,
+    DatasetInfo,
+)
+from repro.storage.dataframe import DataFrame
+from repro.storage.filters import available_filters, decode_chunk, encode_chunk
+from repro.storage.iosim import DEFAULT_DISK, DiskModel
+from repro.storage.pagestore import (
+    PAGE_SIZES,
+    PagedResult,
+    paged_compress,
+    paged_decompress,
+)
+from repro.storage.query import QueryBenchmark, QueryCost
+
+__all__ = [
+    "ChunkInfo",
+    "ContainerReader",
+    "ContainerWriter",
+    "DEFAULT_DISK",
+    "DataFrame",
+    "DatasetInfo",
+    "DiskModel",
+    "PAGE_SIZES",
+    "PagedResult",
+    "QueryBenchmark",
+    "QueryCost",
+    "available_filters",
+    "decode_chunk",
+    "encode_chunk",
+    "paged_compress",
+    "paged_decompress",
+]

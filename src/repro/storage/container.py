@@ -1,0 +1,231 @@
+"""HDF5-like chunked container with a compression filter pipeline.
+
+The paper's simulated in-memory database (section 5.1.2, Figure 4)
+stores compressed floating-point data in HDF5 files, reads chunks from
+disk, decompresses them through a filter, and queries the decoded
+in-memory table.  This module provides that substrate: a binary
+container holding named datasets, each split into fixed-element chunks
+individually compressed by a registered filter (one of the surveyed
+compressors) — the same architecture as HDF5 chunked datasets with
+dataset-transfer filters.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encodings.varint import decode_uvarint, encode_uvarint
+from repro.errors import StorageError
+from repro.storage.filters import decode_chunk, encode_chunk
+
+__all__ = ["ChunkInfo", "DatasetInfo", "ContainerWriter", "ContainerReader"]
+
+_MAGIC = b"FCBC"
+_VERSION = 1
+_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+_CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
+
+
+@dataclass(frozen=True)
+class ChunkInfo:
+    """Index entry for one stored chunk."""
+
+    n_elements: int
+    compressed_bytes: int
+    offset: int  # absolute file offset of the chunk payload
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Metadata for one stored dataset."""
+
+    name: str
+    dtype: np.dtype
+    shape: tuple[int, ...]
+    filter_name: str
+    chunks: tuple[ChunkInfo, ...]
+
+    @property
+    def raw_bytes(self) -> int:
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        return count * self.dtype.itemsize
+
+    @property
+    def compressed_bytes(self) -> int:
+        return sum(chunk.compressed_bytes for chunk in self.chunks)
+
+    @property
+    def compression_ratio(self) -> float:
+        stored = self.compressed_bytes
+        return self.raw_bytes / stored if stored else float("inf")
+
+
+class ContainerWriter:
+    """Builds a container file dataset by dataset."""
+
+    def __init__(self, chunk_elements: int = 8192) -> None:
+        if chunk_elements < 1:
+            raise ValueError("chunk_elements must be positive")
+        self.chunk_elements = chunk_elements
+        self._datasets: list[tuple[str, np.ndarray, str, int]] = []
+
+    def add_dataset(
+        self,
+        name: str,
+        array: np.ndarray,
+        filter_name: str = "none",
+        chunk_elements: int | None = None,
+    ) -> None:
+        """Queue ``array`` for storage under ``name`` with a filter."""
+        if any(existing == name for existing, *_ in self._datasets):
+            raise StorageError(f"dataset {name!r} already added")
+        if array.dtype not in _DTYPE_CODES:
+            raise StorageError(
+                f"container stores float32/float64 only, got {array.dtype}"
+            )
+        self._datasets.append(
+            (
+                name,
+                np.ascontiguousarray(array),
+                filter_name,
+                chunk_elements or self.chunk_elements,
+            )
+        )
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write every queued dataset to ``path``."""
+        header = io.BytesIO()
+        payloads: list[bytes] = []
+        header.write(_MAGIC)
+        header.write(bytes([_VERSION]))
+        header.write(encode_uvarint(len(self._datasets)))
+
+        # First pass: compress chunks, building per-dataset index blocks
+        # whose offsets are patched once header size is known.
+        dataset_blocks: list[tuple[bytes, list[bytes]]] = []
+        for name, array, filter_name, chunk_elements in self._datasets:
+            flat = array.ravel()
+            chunk_blobs: list[bytes] = []
+            index = io.BytesIO()
+            name_bytes = name.encode()
+            index.write(encode_uvarint(len(name_bytes)))
+            index.write(name_bytes)
+            index.write(bytes([_DTYPE_CODES[array.dtype]]))
+            index.write(encode_uvarint(array.ndim))
+            for extent in array.shape:
+                index.write(encode_uvarint(extent))
+            filt_bytes = filter_name.encode()
+            index.write(encode_uvarint(len(filt_bytes)))
+            index.write(filt_bytes)
+            n_chunks = -(-flat.size // chunk_elements) if flat.size else 0
+            index.write(encode_uvarint(n_chunks))
+            for start in range(0, flat.size, chunk_elements):
+                chunk = flat[start : start + chunk_elements]
+                blob = encode_chunk(filter_name, chunk)
+                chunk_blobs.append(blob)
+                index.write(encode_uvarint(len(chunk)))
+                index.write(encode_uvarint(len(blob)))
+            dataset_blocks.append((index.getvalue(), chunk_blobs))
+
+        for index_bytes, _ in dataset_blocks:
+            header.write(index_bytes)
+        with open(path, "wb") as fh:
+            fh.write(header.getvalue())
+            for _, chunk_blobs in dataset_blocks:
+                for blob in chunk_blobs:
+                    fh.write(blob)
+
+
+class ContainerReader:
+    """Reads datasets back from a container file.
+
+    Tracks raw I/O volume so the benchmark harness can model disk time
+    separately from decode time, as Table 11 does.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        self._datasets: dict[str, DatasetInfo] = {}
+        self.bytes_read = 0
+        self._parse_index()
+
+    def _parse_index(self) -> None:
+        with open(self.path, "rb") as fh:
+            blob = fh.read()
+        if blob[:4] != _MAGIC:
+            raise StorageError(f"{self.path} is not a container file")
+        if blob[4] != _VERSION:
+            raise StorageError(f"unsupported container version {blob[4]}")
+        n_datasets, pos = decode_uvarint(blob, 5)
+        pending: list[tuple[str, np.dtype, tuple[int, ...], str, list[tuple[int, int]]]] = []
+        for _ in range(n_datasets):
+            name_len, pos = decode_uvarint(blob, pos)
+            name = blob[pos : pos + name_len].decode()
+            pos += name_len
+            dtype = _CODE_DTYPES.get(blob[pos])
+            if dtype is None:
+                raise StorageError(f"bad dtype code in dataset {name!r}")
+            pos += 1
+            ndim, pos = decode_uvarint(blob, pos)
+            shape = []
+            for _ in range(ndim):
+                extent, pos = decode_uvarint(blob, pos)
+                shape.append(extent)
+            filt_len, pos = decode_uvarint(blob, pos)
+            filter_name = blob[pos : pos + filt_len].decode()
+            pos += filt_len
+            n_chunks, pos = decode_uvarint(blob, pos)
+            sizes: list[tuple[int, int]] = []
+            for _ in range(n_chunks):
+                n_elements, pos = decode_uvarint(blob, pos)
+                comp_bytes, pos = decode_uvarint(blob, pos)
+                sizes.append((n_elements, comp_bytes))
+            pending.append((name, dtype, tuple(shape), filter_name, sizes))
+
+        offset = pos
+        for name, dtype, shape, filter_name, sizes in pending:
+            chunks = []
+            for n_elements, comp_bytes in sizes:
+                chunks.append(ChunkInfo(n_elements, comp_bytes, offset))
+                offset += comp_bytes
+            self._datasets[name] = DatasetInfo(
+                name, dtype, shape, filter_name, tuple(chunks)
+            )
+        if offset != len(blob):
+            raise StorageError(
+                f"container trailer mismatch: expected {offset} bytes, "
+                f"file has {len(blob)}"
+            )
+
+    def dataset_names(self) -> list[str]:
+        return list(self._datasets)
+
+    def info(self, name: str) -> DatasetInfo:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise StorageError(f"no dataset {name!r} in {self.path}") from None
+
+    def read_dataset(self, name: str) -> np.ndarray:
+        """Read and decode a dataset; updates :attr:`bytes_read`."""
+        info = self.info(name)
+        pieces: list[np.ndarray] = []
+        with open(self.path, "rb") as fh:
+            for chunk in info.chunks:
+                fh.seek(chunk.offset)
+                blob = fh.read(chunk.compressed_bytes)
+                self.bytes_read += len(blob)
+                pieces.append(
+                    decode_chunk(info.filter_name, blob, chunk.n_elements, info.dtype)
+                )
+        if pieces:
+            flat = np.concatenate(pieces)
+        else:
+            flat = np.empty(0, dtype=info.dtype)
+        return flat.reshape(info.shape)

@@ -1,0 +1,83 @@
+"""Minimal in-memory column dataframe for the query micro-benchmark.
+
+Stands in for the Pandas dataframes of the paper's simulated database
+(section 5.1.2): named float columns of equal length supporting the one
+operation the micro-benchmark needs — a full-table-scan selection
+(``df.loc[df.A <= v]``) — plus histogram computation used to pick the
+predicate values (Table 11's methodology footnote).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = ["DataFrame"]
+
+
+class DataFrame:
+    """Immutable columnar table of float arrays."""
+
+    def __init__(self, columns: dict[str, np.ndarray]) -> None:
+        if not columns:
+            raise StorageError("a dataframe needs at least one column")
+        lengths = {name: len(np.atleast_1d(col)) for name, col in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise StorageError(f"ragged columns: {lengths}")
+        self._columns = {
+            name: np.atleast_1d(np.asarray(col)) for name, col in columns.items()
+        }
+        self._length = next(iter(lengths.values()))
+
+    @classmethod
+    def from_table(cls, table: np.ndarray, prefix: str = "c") -> "DataFrame":
+        """Build a frame from a 1-D or 2-D array; columns are named
+        ``c0, c1, ...``."""
+        table = np.atleast_1d(table)
+        if table.ndim == 1:
+            return cls({f"{prefix}0": table})
+        if table.ndim != 2:
+            raise StorageError(
+                f"from_table expects 1-D or 2-D data, got rank {table.ndim}"
+            )
+        return cls(
+            {f"{prefix}{i}": np.ascontiguousarray(table[:, i]) for i in range(table.shape[1])}
+        )
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise StorageError(
+                f"no column {name!r}; have {self.column_names}"
+            ) from None
+
+    def scan_less_equal(self, name: str, value: float) -> np.ndarray:
+        """Full-table scan: boolean mask for ``column <= value``."""
+        return self.column(name) <= value
+
+    def select(self, mask: np.ndarray) -> "DataFrame":
+        """Row subset by boolean mask (the ``df.loc[...]`` step)."""
+        if len(mask) != self._length:
+            raise StorageError(
+                f"mask length {len(mask)} does not match table length "
+                f"{self._length}"
+            )
+        return DataFrame({name: col[mask] for name, col in self._columns.items()})
+
+    def histogram_edges(self, name: str, bins: int = 10) -> np.ndarray:
+        """Histogram bin edges of a column (Table 11's predicate values)."""
+        column = self.column(name)
+        finite = column[np.isfinite(column)]
+        if finite.size == 0:
+            return np.zeros(bins + 1)
+        _, edges = np.histogram(finite, bins=bins)
+        return edges

@@ -1,0 +1,67 @@
+"""Compressor-to-filter adapters for the container's chunk pipeline.
+
+Mirrors HDF5's dataset-transfer filters (paper Figure 4): every
+registered compressor can serve as a chunk filter, plus the identity
+filter ``"none"`` for uncompressed storage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors import get_compressor
+from repro.errors import StorageError
+
+__all__ = ["encode_chunk", "decode_chunk", "available_filters"]
+
+
+def available_filters() -> list[str]:
+    """Identity plus every registered compressor."""
+    from repro.compressors import compressor_names
+
+    return ["none", *compressor_names()]
+
+
+def encode_chunk(filter_name: str, chunk: np.ndarray) -> bytes:
+    """Compress one chunk with the named filter."""
+    if filter_name == "none":
+        return chunk.tobytes()
+    try:
+        compressor = get_compressor(filter_name)
+    except KeyError as exc:
+        raise StorageError(str(exc)) from exc
+    array = np.ascontiguousarray(chunk).ravel()
+    if not compressor.info.supports_dtype(array.dtype):
+        # Double-only methods see the raw byte stream: pairs of float32
+        # values become one 64-bit word (odd tails are zero-padded).
+        if array.size % 2:
+            array = np.concatenate([array, np.zeros(1, dtype=array.dtype)])
+        array = array.view(np.float64)
+    return compressor.compress(array)
+
+
+def decode_chunk(
+    filter_name: str, blob: bytes, n_elements: int, dtype: np.dtype
+) -> np.ndarray:
+    """Decompress one chunk back to ``n_elements`` of ``dtype``."""
+    if filter_name == "none":
+        out = np.frombuffer(blob, dtype=dtype)
+        if out.size != n_elements:
+            raise StorageError(
+                f"raw chunk holds {out.size} elements, expected {n_elements}"
+            )
+        return out
+    try:
+        compressor = get_compressor(filter_name)
+    except KeyError as exc:
+        raise StorageError(str(exc)) from exc
+    out = compressor.decompress(blob).ravel()
+    if out.dtype != dtype:
+        # Invert the byte reinterpretation applied by encode_chunk.
+        out = out.view(dtype)[:n_elements]
+    if out.size != n_elements:
+        raise StorageError(
+            f"filter {filter_name!r} decoded {out.size} elements, "
+            f"expected {n_elements}"
+        )
+    return out

@@ -1,0 +1,92 @@
+"""Tests for the shared bit utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compressors.util import (
+    bit_transpose,
+    bit_untranspose,
+    bits_to_float,
+    float_bits,
+    leading_zeros,
+    sign_magnitude_map,
+    sign_magnitude_unmap,
+    significant_bits,
+    trailing_zeros,
+)
+from repro.errors import UnsupportedDtypeError
+
+
+def test_float_bits_view_is_lossless():
+    arr = np.array([1.5, -2.25, np.nan], dtype=np.float32)
+    np.testing.assert_array_equal(bits_to_float(float_bits(arr)), arr.view(np.float32))
+
+
+def test_float_bits_rejects_ints():
+    with pytest.raises(UnsupportedDtypeError):
+        float_bits(np.arange(4))
+
+
+def test_sign_magnitude_is_monotone():
+    values = np.array([-np.inf, -1e10, -1.0, -1e-300, -0.0, 0.0, 1e-300, 1.0, np.inf])
+    mapped = sign_magnitude_map(float_bits(values))
+    assert (np.diff(mapped.astype(np.float64)) >= 0).all()
+
+
+def test_sign_magnitude_roundtrip_f32():
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2**32, 1000, dtype=np.uint32)
+    np.testing.assert_array_equal(
+        sign_magnitude_unmap(sign_magnitude_map(bits)), bits
+    )
+
+
+def test_sign_magnitude_roundtrip_f64():
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2**64, 1000, dtype=np.uint64)
+    np.testing.assert_array_equal(
+        sign_magnitude_unmap(sign_magnitude_map(bits)), bits
+    )
+
+
+@pytest.mark.parametrize("dtype", [np.uint32, np.uint64])
+def test_significant_bits_matches_python(dtype):
+    rng = np.random.default_rng(3)
+    width = np.dtype(dtype).itemsize * 8
+    values = rng.integers(0, 2**width, 500, dtype=dtype)
+    expected = [int(v).bit_length() for v in values]
+    np.testing.assert_array_equal(significant_bits(values), expected)
+
+
+def test_significant_bits_zero():
+    assert significant_bits(np.zeros(3, dtype=np.uint64)).tolist() == [0, 0, 0]
+
+
+def test_leading_trailing_zeros():
+    v = np.array([0b1000, 0, 1 << 63], dtype=np.uint64)
+    assert leading_zeros(v).tolist() == [60, 64, 0]
+    assert trailing_zeros(v).tolist() == [3, 64, 63]
+
+
+@given(
+    hnp.arrays(
+        dtype=np.uint64,
+        shape=st.integers(1, 64),
+        elements=st.integers(0, 2**64 - 1),
+    )
+)
+def test_bit_transpose_roundtrip(words):
+    packed = bit_transpose(words)
+    np.testing.assert_array_equal(
+        bit_untranspose(packed, len(words), np.uint64), words
+    )
+
+
+def test_bit_transpose_plane_layout():
+    # All MSBs land in the first output bits.
+    words = np.full(8, 1 << 63, dtype=np.uint64)
+    packed = bit_transpose(words)
+    assert packed[0] == 0xFF
+    assert packed[1:].sum() == 0

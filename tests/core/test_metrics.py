@@ -1,0 +1,59 @@
+"""Tests for metric definitions (section 5.2)."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import (
+    compression_ratio,
+    decompression_asymmetry,
+    method_mean_cr,
+    method_mean_throughput,
+    throughput_gbs,
+)
+from repro.core.results import Measurement
+
+
+def test_cr_definition():
+    assert compression_ratio(100, 50) == 2.0
+    with pytest.raises(ValueError):
+        compression_ratio(100, 0)
+
+
+def test_throughput_definition():
+    assert throughput_gbs(10**9, 2.0) == 0.5
+    with pytest.raises(ValueError):
+        throughput_gbs(10, 0.0)
+
+
+def _m(cr, ct=1.0, dt=2.0, ok=True):
+    return Measurement(
+        method="m", dataset="d", domain="HPC", precision="D", ok=ok,
+        compression_ratio=cr, compress_gbs=ct, decompress_gbs=dt,
+    )
+
+
+def test_harmonic_mean_cr():
+    rows = [_m(1.0), _m(2.0)]
+    assert method_mean_cr(rows) == pytest.approx(4 / 3)
+
+
+def test_failures_excluded():
+    rows = [_m(2.0), _m(99.0, ok=False)]
+    assert method_mean_cr(rows) == 2.0
+
+
+def test_empty_is_nan():
+    assert math.isnan(method_mean_cr([]))
+
+
+def test_throughput_means_are_arithmetic():
+    rows = [_m(1.0, ct=1.0), _m(1.0, ct=3.0)]
+    assert method_mean_throughput(rows, "compress") == 2.0
+
+
+def test_asymmetry_signs():
+    # Figure 9: positive means compression faster than decompression.
+    assert decompression_asymmetry(2.0, 1.0) == pytest.approx(0.5)
+    assert decompression_asymmetry(1.0, 2.0) == pytest.approx(-1.0)
+    assert math.isnan(decompression_asymmetry(float("nan"), 1.0))

@@ -1,0 +1,53 @@
+"""Tests for the recommendation map (section 7.3)."""
+
+import pytest
+
+from repro.core.recommend import recommend
+from repro.core.results import Measurement, ResultSet
+
+
+def _m(method, dataset, domain, cr, wall=100.0, ok=True):
+    return Measurement(
+        method=method, dataset=dataset, domain=domain, precision="D", ok=ok,
+        compression_ratio=cr, compress_gbs=1.0, decompress_gbs=1.0,
+        compress_wall_ms=wall, decompress_wall_ms=wall,
+    )
+
+
+@pytest.fixture
+def toy_results():
+    rows = []
+    for dataset, domain in (("h1", "HPC"), ("t1", "TS"), ("o1", "OBS"), ("d1", "DB")):
+        rows.append(_m("fpzip", dataset, domain, cr=2.0 if domain == "HPC" else 1.1, wall=5000))
+        rows.append(_m("chimp", dataset, domain, cr=1.8 if domain == "DB" else 1.2, wall=9000))
+        rows.append(_m("bitshuffle-zstd", dataset, domain, cr=1.5, wall=300))
+        rows.append(_m("mpc", dataset, domain, cr=1.3, wall=250))
+        rows.append(_m("gfc", dataset, domain, cr=1.0, wall=100))
+        rows.append(_m("nvcomp-bitcomp", dataset, domain, cr=1.0, wall=50))
+    return ResultSet(rows)
+
+
+def test_storage_winners_per_domain(toy_results):
+    rec = recommend(toy_results)
+    assert rec.storage_by_domain["HPC"] == "fpzip"
+    assert rec.storage_by_domain["DB"] == "chimp"
+
+
+def test_fastest_excludes_nvcomp_and_gfc(toy_results):
+    # Observation 9 / section 7.3: GFC's input limit and nvCOMP's missing
+    # wall-time API keep both out of the speed recommendation.
+    rec = recommend(toy_results)
+    assert "gfc" not in rec.fastest
+    assert "nvcomp-bitcomp" not in rec.fastest
+    assert rec.fastest[0] == "mpc"
+
+
+def test_general_balances_cr_and_speed(toy_results):
+    rec = recommend(toy_results)
+    assert "bitshuffle-zstd" in rec.general
+
+
+def test_summary_renders(toy_results):
+    text = recommend(toy_results).summary()
+    assert "storage reduction" in text
+    assert "HPC" in text

@@ -1,0 +1,36 @@
+"""Tests for table/figure text rendering."""
+
+import numpy as np
+
+from repro.core.report import ascii_bars, ascii_boxplot, format_matrix, format_table
+from repro.stats.descriptive import boxplot_stats
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", "1.5"], ["bb", "10"]])
+    lines = text.splitlines()
+    assert len({len(l) for l in lines}) == 1  # all rows equal width
+
+
+def test_format_matrix_nan_as_dash():
+    matrix = np.array([[1.0, np.nan]])
+    text = format_matrix(["row"], ["a", "b"], matrix)
+    assert "-" in text.splitlines()[-1]
+    assert "1.000" in text
+
+
+def test_ascii_boxplot_markers():
+    stats = boxplot_stats(np.concatenate([np.ones(50), [1.5], [9.0]]))
+    line = ascii_boxplot(stats, 0.0, 10.0)
+    assert "|" in line and "o" in line
+
+
+def test_ascii_bars_log_scale():
+    text = ascii_bars(["slow", "fast"], [0.01, 100.0], log_scale=True)
+    slow_line, fast_line = text.splitlines()
+    assert fast_line.count("#") > slow_line.count("#")
+
+
+def test_ascii_bars_handles_missing():
+    text = ascii_bars(["a", "b"], [1.0, float("nan")])
+    assert "-" in text.splitlines()[1]

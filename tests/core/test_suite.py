@@ -1,0 +1,42 @@
+"""Tests for suite orchestration and caching."""
+
+from repro.core.suite import default_datasets, default_methods, run_suite
+
+
+def test_default_methods_are_table_order():
+    methods = default_methods()
+    assert methods[0] == "pfpc"
+    assert methods[-1] == "ndzip-gpu"
+    assert "dzip" not in methods
+
+
+def test_default_datasets_all_33():
+    assert len(default_datasets()) == 33
+
+
+def test_mini_suite_and_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    results = run_suite(
+        methods=["chimp", "gorilla"],
+        datasets=["citytemp", "gas-price"],
+        target_elements=1024,
+    )
+    assert len(results) == 4
+    assert all(m.ok for m in results.measurements)
+    # Second call must come from the cache (same content).
+    cached = run_suite(
+        methods=["chimp", "gorilla"],
+        datasets=["citytemp", "gas-price"],
+        target_elements=1024,
+    )
+    assert [m.compression_ratio for m in cached.measurements] == [
+        m.compression_ratio for m in results.measurements
+    ]
+    assert len(list(tmp_path.glob("suite_*.json"))) == 1
+
+
+def test_cache_key_depends_on_scale(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    run_suite(methods=["gorilla"], datasets=["citytemp"], target_elements=512)
+    run_suite(methods=["gorilla"], datasets=["citytemp"], target_elements=1024)
+    assert len(list(tmp_path.glob("suite_*.json"))) == 2

@@ -1,0 +1,63 @@
+"""Tests for the Table 3 dataset catalog."""
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import CATALOG, dataset_names, domains, get_spec
+from repro.errors import DatasetError
+
+
+def test_thirty_three_datasets():
+    assert len(CATALOG) == 33
+
+
+def test_domain_counts_match_table3():
+    counts = {d: len(dataset_names(d)) for d in domains()}
+    assert counts == {"HPC": 10, "TS": 8, "OBS": 8, "DB": 7}
+
+
+def test_paper_sizes_match_extents():
+    for spec in CATALOG:
+        elements = int(np.prod(spec.paper_extent))
+        assert elements * spec.numpy_dtype.itemsize == spec.paper_bytes, spec.name
+
+
+def test_gfc_limit_flags_match_table4_dashes():
+    # The paper's Table 4 has exactly 11 "-" cells in the GFC column.
+    over = [s.name for s in CATALOG if s.exceeds_gfc_limit]
+    assert len(over) == 11
+    assert "astro-mhd" in over
+    assert "wave" not in over  # exactly 512 MB: allowed
+    assert "hdr-night" not in over  # exactly 512 MB: allowed
+
+
+def test_scaled_extent_preserves_rank():
+    for spec in CATALOG:
+        scaled = spec.scaled_extent(16384)
+        assert len(scaled) == spec.ndim
+        elements = int(np.prod(scaled))
+        assert elements <= 4 * 16384, spec.name
+
+
+def test_scaled_extent_keeps_column_axes():
+    spec = get_spec("jane-street")
+    assert spec.scaled_extent(16384)[-1] == 136
+    spec = get_spec("wesad-chest")
+    assert spec.scaled_extent(16384)[-1] == 8
+
+
+def test_scaled_extent_noop_when_small_target_is_bigger():
+    spec = get_spec("citytemp")
+    assert spec.scaled_extent(10**9) == spec.paper_extent
+
+
+def test_unknown_dataset():
+    with pytest.raises(DatasetError, match="unknown dataset"):
+        get_spec("enron-emails")
+
+
+def test_dtype_mix_matches_table3():
+    singles = [s for s in CATALOG if s.dtype == "f32"]
+    doubles = [s for s in CATALOG if s.dtype == "f64"]
+    assert len(singles) == 20
+    assert len(doubles) == 13

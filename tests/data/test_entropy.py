@@ -1,0 +1,50 @@
+"""Tests for entropy estimators."""
+
+import numpy as np
+import pytest
+
+from repro.data.entropy import byte_entropy, value_entropy
+
+
+def test_constant_array_zero_entropy():
+    assert value_entropy(np.full(1000, 3.14)) == 0.0
+
+
+def test_distinct_values_log2_n():
+    arr = np.arange(1024, dtype=np.float64)
+    assert value_entropy(arr) == pytest.approx(10.0)
+
+
+def test_two_value_mix():
+    arr = np.array([1.0] * 500 + [2.0] * 500)
+    assert value_entropy(arr) == pytest.approx(1.0)
+
+
+def test_nan_payloads_are_distinct_values():
+    a = np.frombuffer(np.uint64(0x7FF8000000000001).tobytes(), dtype=np.float64)
+    b = np.frombuffer(np.uint64(0x7FF8000000000002).tobytes(), dtype=np.float64)
+    arr = np.concatenate([a, b])
+    assert value_entropy(arr) == pytest.approx(1.0)
+
+
+def test_empty():
+    assert value_entropy(np.array([], dtype=np.float64)) == 0.0
+    assert byte_entropy(np.array([], dtype=np.float64)) == 0.0
+
+
+def test_byte_entropy_bounds():
+    rng = np.random.default_rng(0)
+    noisy = rng.normal(0, 1, 5000)
+    h = byte_entropy(noisy)
+    assert 0.0 < h <= 8.0
+    assert byte_entropy(np.zeros(1000)) == 0.0
+
+
+def test_ordering_matches_table3_classes():
+    # astro-mhd (sparse) << gas-price (prices) << jane-street (market).
+    from repro.data import load
+
+    sparse = value_entropy(load("astro-mhd", 8192))
+    prices = value_entropy(load("gas-price", 8192))
+    market = value_entropy(load("jane-street", 8192))
+    assert sparse < prices < market

@@ -1,0 +1,80 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import CATALOG, get_spec
+from repro.data.generators import available_generators, generate
+from repro.errors import DatasetError
+
+
+@pytest.mark.parametrize("spec", CATALOG, ids=lambda s: s.name)
+def test_every_dataset_generates(spec):
+    extent = spec.scaled_extent(4096)
+    array = generate(spec, extent)
+    assert array.shape == extent
+    assert array.dtype == spec.numpy_dtype
+    assert np.isfinite(array).all(), "generators must not emit NaN/Inf"
+
+
+def test_deterministic_by_seed():
+    spec = get_spec("turbulence")
+    extent = spec.scaled_extent(4096)
+    a = generate(spec, extent, seed=1)
+    b = generate(spec, extent, seed=1)
+    c = generate(spec, extent, seed=2)
+    np.testing.assert_array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_datasets_are_distinct():
+    a = generate(get_spec("turbulence"), (16, 16, 16))
+    b = generate(get_spec("miranda3d"), (16, 16, 16))
+    assert not np.array_equal(a, b)
+
+
+def test_sparse_field_is_mostly_zero():
+    spec = get_spec("astro-mhd")
+    array = generate(spec, spec.scaled_extent(16384))
+    assert (array == 0).mean() > 0.9
+
+
+def test_sensor_respects_decimals():
+    spec = get_spec("citytemp")
+    array = generate(spec, (4096,)).astype(np.float64)
+    assert np.allclose(array, np.round(array, 1))
+
+
+def test_prices_repeat_heavily():
+    spec = get_spec("gas-price")
+    array = generate(spec, spec.scaled_extent(8192))
+    unique_fraction = len(np.unique(array)) / array.size
+    assert unique_fraction < 0.5
+
+
+def test_market_data_near_full_entropy():
+    spec = get_spec("jane-street")
+    array = generate(spec, spec.scaled_extent(8192))
+    unique_fraction = len(np.unique(array)) / array.size
+    assert unique_fraction > 0.99
+
+
+def test_tpc_money_has_cent_granularity():
+    spec = get_spec("tpcH-order")
+    array = generate(spec, (4096,)).astype(np.float64)
+    cents = array * 100
+    assert np.allclose(cents, np.round(cents))
+
+
+def test_unknown_generator_raises():
+    from dataclasses import replace
+
+    spec = replace(get_spec("citytemp"), generator="fractal-unicorn")
+    with pytest.raises(DatasetError, match="unknown generator"):
+        generate(spec, (64,))
+
+
+def test_generator_registry_covers_catalog():
+    names = set(available_generators())
+    for spec in CATALOG:
+        assert spec.generator in names

@@ -1,0 +1,31 @@
+"""Tests for dataset materialization and caching."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import load, load_spec
+from repro.data.catalog import get_spec
+
+
+def test_load_returns_readonly_shared_array():
+    a = load("citytemp", 2048)
+    b = load("citytemp", 2048)
+    assert a is b  # cached
+    with pytest.raises(ValueError):
+        a[0] = 1.0
+
+
+def test_different_budgets_differ():
+    small = load("citytemp", 1024)
+    large = load("citytemp", 4096)
+    assert small.size < large.size
+
+
+def test_load_spec_equivalent():
+    spec = get_spec("wave")
+    np.testing.assert_array_equal(load_spec(spec, 2048), load("wave", 2048))
+
+
+def test_dtype_matches_catalog():
+    assert load("rsim", 1024).dtype == np.float32
+    assert load("msg-bt", 1024).dtype == np.float64

@@ -1,0 +1,83 @@
+"""Tests for the adaptive binary arithmetic coder."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.encodings.arithmetic import (
+    PROBABILITY_ONE,
+    AdaptiveBitModel,
+    BinaryArithmeticDecoder,
+    BinaryArithmeticEncoder,
+)
+
+
+def _roundtrip(bits, probabilities=None):
+    enc = BinaryArithmeticEncoder()
+    if probabilities is None:
+        probabilities = [PROBABILITY_ONE // 2] * len(bits)
+    for bit, p in zip(bits, probabilities):
+        enc.encode(bit, p)
+    blob = enc.finish()
+    dec = BinaryArithmeticDecoder(blob)
+    return [dec.decode(p) for p in probabilities], blob
+
+
+def test_empty_stream():
+    out, _ = _roundtrip([])
+    assert out == []
+
+
+def test_uniform_probability_roundtrip():
+    bits = [random.Random(1).random() < 0.5 for _ in range(2000)]
+    out, blob = _roundtrip([int(b) for b in bits])
+    assert out == [int(b) for b in bits]
+    # Near-uniform bits cost about one bit each.
+    assert len(blob) <= len(bits) // 8 + 8
+
+
+def test_skewed_bits_near_entropy():
+    rnd = random.Random(7)
+    bits = [int(rnd.random() < 0.95) for _ in range(8000)]
+    model = AdaptiveBitModel()
+    enc = BinaryArithmeticEncoder()
+    for b in bits:
+        enc.encode(b, model.prob_one)
+        model.update(b)
+    blob = enc.finish()
+    # H(0.95) ~ 0.286 bits; adaptive coding should be well below 0.45.
+    assert len(blob) * 8 / len(bits) < 0.45
+    dec = BinaryArithmeticDecoder(blob)
+    model2 = AdaptiveBitModel()
+    out = []
+    for _ in bits:
+        b = dec.decode(model2.prob_one)
+        model2.update(b)
+        out.append(b)
+    assert out == bits
+
+
+def test_extreme_probabilities_clamped():
+    out, _ = _roundtrip([0, 1, 0, 1], [0, PROBABILITY_ONE, 0, PROBABILITY_ONE])
+    assert out == [0, 1, 0, 1]
+
+
+def test_model_probability_bounds():
+    model = AdaptiveBitModel()
+    for _ in range(5000):
+        model.update(1)
+    assert 0 < model.prob_one < PROBABILITY_ONE
+    assert model.prob_one > PROBABILITY_ONE * 0.9
+
+
+def test_encoder_finish_idempotent():
+    enc = BinaryArithmeticEncoder()
+    enc.encode(1, 30000)
+    assert enc.finish() == enc.finish()
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(0, 1), max_size=500))
+def test_roundtrip_property(bits):
+    out, _ = _roundtrip(bits)
+    assert out == bits

@@ -1,0 +1,134 @@
+"""Unit and property tests for the MSB-first bit stream."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encodings.bitio import BitReader, BitWriter
+from repro.errors import CorruptStreamError
+
+
+class TestBitWriter:
+    def test_empty_stream(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_bit(self):
+        w = BitWriter()
+        w.write_bit(1)
+        assert w.getvalue() == b"\x80"
+
+    def test_partial_byte_zero_padded(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        assert w.getvalue() == b"\xa0"
+
+    def test_bit_length_tracks_writes(self):
+        w = BitWriter()
+        w.write_bits(0xFFFF, 13)
+        assert len(w) == 13
+        assert w.bit_length == 13
+
+    def test_value_is_masked(self):
+        w = BitWriter()
+        w.write_bits(-1, 4)  # two's complement negative
+        assert w.getvalue() == b"\xf0"
+
+    def test_negative_nbits_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(1, -1)
+
+    def test_zero_bits_is_noop(self):
+        w = BitWriter()
+        w.write_bits(123, 0)
+        assert len(w) == 0
+
+    def test_write_bytes_aligned(self):
+        w = BitWriter()
+        w.write_bytes(b"\x12\x34")
+        assert w.getvalue() == b"\x12\x34"
+
+    def test_write_bytes_unaligned(self):
+        w = BitWriter()
+        w.write_bit(1)
+        w.write_bytes(b"\x00")
+        assert w.getvalue() == b"\x80\x00"
+
+    def test_align_to_byte(self):
+        w = BitWriter()
+        w.write_bit(1)
+        w.align_to_byte()
+        w.write_bits(0xAB, 8)
+        assert w.getvalue() == b"\x80\xab"
+
+    def test_unary(self):
+        w = BitWriter()
+        w.write_unary(3)
+        r = BitReader(w.getvalue())
+        assert r.read_unary() == 3
+
+    def test_unary_long_run(self):
+        w = BitWriter()
+        w.write_unary(100)
+        assert BitReader(w.getvalue()).read_unary() == 100
+
+    def test_unary_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_unary(-1)
+
+
+class TestBitReader:
+    def test_read_past_end_raises(self):
+        r = BitReader(b"\xff")
+        r.read_bits(8)
+        with pytest.raises(CorruptStreamError):
+            r.read_bits(1)
+
+    def test_remaining(self):
+        r = BitReader(b"\xff\x00")
+        assert r.remaining == 16
+        r.read_bits(5)
+        assert r.remaining == 11
+
+    def test_position(self):
+        r = BitReader(b"\xff\x00")
+        r.read_bits(9)
+        assert r.position == 9
+
+    def test_read_bytes_aligned(self):
+        r = BitReader(b"\x01\x02\x03")
+        assert r.read_bytes(2) == b"\x01\x02"
+
+    def test_read_bytes_unaligned(self):
+        r = BitReader(b"\x80\x80")
+        r.read_bit()
+        assert r.read_bytes(1) == b"\x01"
+
+    def test_read_bytes_past_end(self):
+        with pytest.raises(CorruptStreamError):
+            BitReader(b"\x00").read_bytes(2)
+
+    def test_align_to_byte(self):
+        r = BitReader(b"\xff\xab")
+        r.read_bits(3)
+        r.align_to_byte()
+        assert r.read_bits(8) == 0xAB
+
+    def test_negative_nbits_rejected(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00").read_bits(-2)
+
+
+@given(
+    st.lists(
+        st.integers(min_value=1, max_value=64).flatmap(
+            lambda n: st.tuples(st.integers(0, (1 << n) - 1), st.just(n))
+        ),
+        max_size=200,
+    )
+)
+def test_roundtrip_property(fields):
+    w = BitWriter()
+    for value, nbits in fields:
+        w.write_bits(value, nbits)
+    r = BitReader(w.getvalue())
+    for value, nbits in fields:
+        assert r.read_bits(nbits) == value

@@ -1,0 +1,65 @@
+"""Tests for the LZ4 block format."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encodings.lz4 import lz4_compress, lz4_decompress
+from repro.errors import CorruptStreamError
+
+
+def test_empty():
+    assert lz4_decompress(lz4_compress(b"")) == b""
+
+
+def test_incompressible_bounded_expansion():
+    data = os.urandom(10_000)
+    blob = lz4_compress(data)
+    assert lz4_decompress(blob) == data
+    assert len(blob) < len(data) * 1.05
+
+
+def test_repetitive_compresses_hard():
+    data = b"abcdefgh" * 2000
+    assert len(lz4_compress(data)) < len(data) / 50
+
+
+def test_long_literal_run_extension_bytes():
+    # Literal runs above 15 use the 255-saturated extension encoding.
+    data = os.urandom(300) + b"Q" * 64
+    assert lz4_decompress(lz4_compress(data)) == data
+
+
+def test_long_match_extension_bytes():
+    data = b"a" * 5000
+    assert lz4_decompress(lz4_compress(data)) == data
+
+
+def test_overlapping_copy_semantics():
+    data = b"ab" + b"ab" * 100
+    assert lz4_decompress(lz4_compress(data)) == data
+
+
+def test_expected_length_check():
+    blob = lz4_compress(b"hello world, hello world")
+    with pytest.raises(CorruptStreamError):
+        lz4_decompress(blob, expected_length=5)
+
+
+def test_truncated_block_detected():
+    blob = lz4_compress(b"hello world hello world hello world")
+    with pytest.raises(CorruptStreamError):
+        lz4_decompress(blob[: len(blob) // 2], expected_length=35)
+
+
+def test_bad_offset_detected():
+    # Token with a match at offset 0 is invalid.
+    with pytest.raises(CorruptStreamError):
+        lz4_decompress(b"\x14AAAA\x00\x00\x00", expected_length=24)
+
+
+@settings(max_examples=75)
+@given(st.binary(max_size=4000))
+def test_roundtrip_property(data):
+    assert lz4_decompress(lz4_compress(data), expected_length=len(data)) == data

@@ -1,0 +1,71 @@
+"""Tests for the hash-chain LZ77 matcher."""
+
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro.encodings.lz77 import Token, find_tokens, reassemble
+
+
+def test_empty():
+    assert find_tokens(b"") == []
+
+
+def test_short_input_is_literal():
+    tokens = find_tokens(b"ab")
+    assert tokens == [Token(b"ab", 0, 0)]
+
+
+def test_repetition_found():
+    tokens = find_tokens(b"abcdabcdabcdabcd")
+    assert any(t.match_length >= 4 for t in tokens)
+    assert reassemble(tokens) == b"abcdabcdabcdabcd"
+
+
+def test_overlapping_match():
+    data = b"a" * 100
+    tokens = find_tokens(data)
+    assert reassemble(tokens) == data
+    # A single token should cover nearly the whole run.
+    assert len(tokens) <= 3
+
+
+def test_window_limits_distance():
+    data = b"0123456789abcdef" + b"x" * 200 + b"0123456789abcdef"
+    tokens = find_tokens(data, window=64)
+    for t in tokens:
+        if t.match_length:
+            assert t.match_distance <= 64
+
+
+def test_max_match_cap():
+    data = b"z" * 500
+    tokens = find_tokens(data, max_match=32)
+    for t in tokens:
+        assert t.match_length <= 32
+    assert reassemble(tokens) == data
+
+
+def test_lazy_not_worse_than_greedy():
+    data = (b"abcde" * 40 + os.urandom(64)) * 8
+    greedy = find_tokens(data)
+    lazy = find_tokens(data, lazy=True)
+    assert reassemble(greedy) == data
+    assert reassemble(lazy) == data
+
+    def cost(tokens):
+        return sum(len(t.literals) + 3 for t in tokens)
+
+    assert cost(lazy) <= cost(greedy) + 8
+
+
+def test_random_data_mostly_literal():
+    data = os.urandom(5000)
+    tokens = find_tokens(data)
+    assert reassemble(tokens) == data
+
+
+@settings(max_examples=60)
+@given(st.binary(max_size=2000), st.booleans())
+def test_roundtrip_property(data, lazy):
+    assert reassemble(find_tokens(data, lazy=lazy)) == data

@@ -1,0 +1,76 @@
+"""Tests for the carry-less range coder and adaptive symbol model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encodings.range_coder import (
+    AdaptiveSymbolModel,
+    RangeDecoder,
+    RangeEncoder,
+)
+
+
+def _roundtrip(symbols, alphabet):
+    enc = RangeEncoder()
+    model = AdaptiveSymbolModel(alphabet)
+    for s in symbols:
+        model.encode_symbol(enc, s)
+    blob = enc.finish()
+    dec = RangeDecoder(blob)
+    model2 = AdaptiveSymbolModel(alphabet)
+    return [model2.decode_symbol(dec) for _ in symbols], blob
+
+
+def test_empty():
+    out, blob = _roundtrip([], 4)
+    assert out == []
+    assert len(blob) == 4  # flush bytes
+
+
+def test_single_symbol():
+    out, _ = _roundtrip([2], 5)
+    assert out == [2]
+
+
+def test_skewed_compresses_toward_entropy():
+    rnd = random.Random(3)
+    symbols = [rnd.choice([0, 0, 0, 0, 0, 0, 1, 2]) for _ in range(8000)]
+    out, blob = _roundtrip(symbols, 3)
+    assert out == symbols
+    assert len(blob) < 8000 * 0.25  # ~1.2 bits/symbol at this skew
+
+
+def test_model_total_stays_bounded():
+    model = AdaptiveSymbolModel(4, increment=4096)
+    for _ in range(1000):
+        model.update(1)
+    assert model.total <= (1 << 16)
+
+
+def test_invalid_frequencies_rejected():
+    enc = RangeEncoder()
+    with pytest.raises(ValueError):
+        enc.encode(0, 0, 10)
+    with pytest.raises(ValueError):
+        enc.encode(5, 10, 10)
+
+
+def test_model_requires_symbols():
+    with pytest.raises(ValueError):
+        AdaptiveSymbolModel(0)
+
+
+def test_large_alphabet():
+    rnd = random.Random(9)
+    symbols = [rnd.randrange(65) for _ in range(3000)]
+    out, _ = _roundtrip(symbols, 65)
+    assert out == symbols
+
+
+@settings(max_examples=40)
+@given(st.lists(st.integers(0, 15), max_size=400))
+def test_roundtrip_property(symbols):
+    out, _ = _roundtrip(symbols, 16)
+    assert out == symbols

@@ -1,0 +1,43 @@
+"""Tests for run-length coding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encodings.rle import rle_decode, rle_encode
+from repro.errors import CorruptStreamError
+
+
+def test_empty():
+    assert rle_encode(b"") == b""
+    assert rle_decode(b"") == b""
+
+
+def test_single_run():
+    assert rle_decode(rle_encode(b"\x00" * 1000)) == b"\x00" * 1000
+
+
+def test_compresses_runs():
+    data = b"\x07" * 10_000
+    assert len(rle_encode(data)) < 10
+
+
+def test_alternating_expands_gracefully():
+    data = b"\x01\x02" * 100
+    encoded = rle_encode(data)
+    assert rle_decode(encoded) == data
+
+
+def test_expected_length_validation():
+    encoded = rle_encode(b"abc")
+    with pytest.raises(CorruptStreamError):
+        rle_decode(encoded, expected_length=99)
+
+
+def test_expected_length_accepts_match():
+    encoded = rle_encode(b"abc")
+    assert rle_decode(encoded, expected_length=3) == b"abc"
+
+
+@given(st.binary(max_size=2000))
+def test_roundtrip_property(data):
+    assert rle_decode(rle_encode(data), expected_length=len(data)) == data

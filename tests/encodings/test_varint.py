@@ -1,0 +1,60 @@
+"""Tests for LEB128 varints and zigzag."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encodings.varint import (
+    decode_svarint,
+    decode_uvarint,
+    encode_svarint,
+    encode_uvarint,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.errors import CorruptStreamError
+
+
+@pytest.mark.parametrize(
+    "value,encoded",
+    [(0, b"\x00"), (1, b"\x01"), (127, b"\x7f"), (128, b"\x80\x01"),
+     (300, b"\xac\x02")],
+)
+def test_known_encodings(value, encoded):
+    assert encode_uvarint(value) == encoded
+    assert decode_uvarint(encoded) == (value, len(encoded))
+
+
+def test_negative_uvarint_rejected():
+    with pytest.raises(ValueError):
+        encode_uvarint(-1)
+
+
+def test_truncated_stream():
+    with pytest.raises(CorruptStreamError):
+        decode_uvarint(b"\x80")
+
+
+def test_oversized_varint_rejected():
+    with pytest.raises(CorruptStreamError):
+        decode_uvarint(b"\xff" * 11)
+
+
+def test_offset_decoding():
+    data = b"\x00" + encode_uvarint(999)
+    assert decode_uvarint(data, 1)[0] == 999
+
+
+@pytest.mark.parametrize("value,expected", [(0, 0), (-1, 1), (1, 2), (-2, 3)])
+def test_zigzag_known(value, expected):
+    assert zigzag_encode(value) == expected
+    assert zigzag_decode(expected) == value
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_uvarint_roundtrip(value):
+    assert decode_uvarint(encode_uvarint(value))[0] == value
+
+
+@given(st.integers(min_value=-(2**62), max_value=2**62))
+def test_svarint_roundtrip(value):
+    assert decode_svarint(encode_svarint(value))[0] == value

@@ -1,0 +1,52 @@
+"""Tests for the simulated GPU device."""
+
+import pytest
+
+from repro.gpu.device import DeviceModel, ExecutionTrace
+
+
+def test_transfer_accounting():
+    dev = DeviceModel()
+    dev.copy_to_device(1000)
+    dev.copy_to_host(400)
+    assert dev.trace.h2d_bytes == 1000
+    assert dev.trace.d2h_bytes == 400
+
+
+def test_reset_clears_trace():
+    dev = DeviceModel()
+    dev.copy_to_device(10)
+    dev.launch("k", 1, 32)
+    dev.reset()
+    assert dev.trace.h2d_bytes == 0
+    assert dev.trace.launch_count == 0
+
+
+def test_launch_validation():
+    dev = DeviceModel()
+    with pytest.raises(ValueError):
+        dev.launch("k", 0, 32)
+    with pytest.raises(ValueError):
+        dev.launch("k", 1, 10**6)
+
+
+def test_negative_transfer_rejected():
+    with pytest.raises(ValueError):
+        DeviceModel().copy_to_device(-1)
+
+
+def test_transfer_seconds_scale_with_bytes():
+    trace = ExecutionTrace()
+    dev = DeviceModel()
+    dev.copy_to_device(10**9)
+    small = ExecutionTrace()
+    t_big = dev.trace.transfer_seconds()
+    assert t_big > 0.1  # ~1 GB over ~6 GB/s
+    assert small.transfer_seconds() == 0.0
+
+
+def test_launch_seconds():
+    dev = DeviceModel()
+    for _ in range(10):
+        dev.launch("k", 4, 128)
+    assert dev.trace.launch_seconds() == pytest.approx(10 * 8e-6)

@@ -1,0 +1,61 @@
+"""Tests for SIMT helpers: warp chunks, prefix sums, divergence."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.simt import (
+    compact_chunks,
+    exclusive_prefix_sum,
+    measure_divergence,
+    pad_to_multiple,
+    warp_chunks,
+)
+
+
+def test_pad_to_multiple():
+    arr, pad = pad_to_multiple(np.arange(10, dtype=np.float64), 32)
+    assert len(arr) == 32 and pad == 22
+    arr2, pad2 = pad_to_multiple(np.arange(32, dtype=np.float64), 32)
+    assert pad2 == 0 and len(arr2) == 32
+
+
+def test_pad_requires_flat():
+    with pytest.raises(ValueError):
+        pad_to_multiple(np.zeros((2, 2)), 4)
+
+
+def test_warp_chunks_shape():
+    chunks = warp_chunks(np.arange(64), 32)
+    assert chunks.shape == (2, 32)
+
+
+def test_warp_chunks_rejects_ragged():
+    with pytest.raises(ValueError):
+        warp_chunks(np.arange(33), 32)
+
+
+def test_exclusive_prefix_sum():
+    np.testing.assert_array_equal(
+        exclusive_prefix_sum(np.array([3, 1, 4])), [0, 3, 4, 8]
+    )
+
+
+def test_compact_chunks_offsets():
+    stream, offsets = compact_chunks([b"ab", b"", b"cdef"])
+    assert stream == b"abcdef"
+    np.testing.assert_array_equal(offsets, [0, 2, 2, 6])
+
+
+def test_divergence_uniform_warps():
+    assert measure_divergence(np.ones(64, dtype=bool)) == 0.0
+    assert measure_divergence(np.zeros(64, dtype=bool)) == 0.0
+
+
+def test_divergence_mixed_warp():
+    lanes = np.zeros(64, dtype=bool)
+    lanes[:16] = True  # first warp diverges, second does not
+    assert measure_divergence(lanes) == pytest.approx(0.5)
+
+
+def test_divergence_empty():
+    assert measure_divergence(np.array([], dtype=bool)) == 0.0

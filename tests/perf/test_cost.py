@@ -1,0 +1,78 @@
+"""Tests for the cost-model dataclasses."""
+
+import pytest
+
+from repro.compressors import compressor_names, get_compressor
+from repro.perf.cost import CostModel, KernelSpec, ParallelismSpec, ScalingSpec
+
+
+def test_kernel_arithmetic_intensity():
+    k = KernelSpec("k", int_ops=8.0, flops=2.0, bytes_touched=4.0)
+    assert k.total_ops == 10.0
+    assert k.arithmetic_intensity == 2.5
+
+
+def test_invalid_parallelism_kind():
+    with pytest.raises(ValueError):
+        ParallelismSpec(kind="quantum")
+
+
+def test_scaling_speedup_monotone_then_rolloff():
+    spec = ScalingSpec(0.05, 0.002, 100.0, 100.0)
+    speedups = [spec.speedup(t) for t in (1, 2, 4, 8, 16, 48)]
+    assert speedups[0] == 1.0
+    assert speedups[1] > 1.5
+    # USL coherence term must eventually bend the curve down.
+    assert spec.speedup(48) < spec.speedup(16)
+
+
+def test_scaling_rejects_zero_threads():
+    with pytest.raises(ValueError):
+        ScalingSpec(0.1, 0.001, 1.0, 1.0).speedup(0)
+
+
+def test_cost_model_validation():
+    with pytest.raises(ValueError):
+        CostModel(
+            platform="tpu",
+            parallelism=ParallelismSpec("serial"),
+            compress_kernels=(KernelSpec("k", 1.0),),
+            decompress_kernels=(KernelSpec("k", 1.0),),
+            anchor_compress_gbs=1.0,
+            anchor_decompress_gbs=1.0,
+        )
+
+
+def test_dominant_kernel_is_heaviest():
+    cost = get_compressor("fpzip").cost
+    dom = cost.dominant_kernel("compress")
+    assert dom.total_ops == max(k.total_ops for k in cost.compress_kernels)
+
+
+def test_fixed_footprint_methods():
+    # Figure 10: pFPC and SPDP use fixed buffers.
+    for name in ("pfpc", "spdp"):
+        cost = get_compressor(name).cost
+        assert cost.memory_footprint(10**6) == cost.memory_footprint(10**9)
+
+
+def test_proportional_footprint_methods():
+    cost = get_compressor("fpzip").cost
+    assert cost.memory_footprint(2 * 10**9) == 2 * cost.memory_footprint(10**9)
+
+
+def test_buff_footprint_factor_is_seven():
+    assert get_compressor("buff").cost.footprint_factor == pytest.approx(7.0)
+
+
+def test_all_anchors_match_paper_table5():
+    paper_ct = {
+        "pfpc": 0.564, "spdp": 0.181, "fpzip": 0.079, "bitshuffle-lz4": 0.923,
+        "bitshuffle-zstd": 1.407, "ndzip-cpu": 2.192, "buff": 0.202,
+        "gorilla": 0.047, "chimp": 0.034, "gfc": 87.778, "mpc": 29.595,
+        "nvcomp-lz4": 2.716, "nvcomp-bitcomp": 240.280, "ndzip-gpu": 142.635,
+    }
+    for name, expected in paper_ct.items():
+        assert get_compressor(name).cost.anchor_compress_gbs == pytest.approx(
+            expected
+        ), name

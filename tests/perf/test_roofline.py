@@ -1,0 +1,50 @@
+"""Tests for the roofline analysis (Figure 11)."""
+
+from repro.compressors import get_compressor
+from repro.perf.roofline import analyze, cpu_roof_gops, gpu_roof_gops
+
+
+def test_cpu_roof_shape():
+    # Memory-bound region slopes up, compute region is flat.
+    assert cpu_roof_gops(0.1) < cpu_roof_gops(0.5)
+    assert cpu_roof_gops(10.0) == cpu_roof_gops(100.0) == 191.0
+
+
+def test_gpu_roof_uses_dram_bandwidth():
+    assert gpu_roof_gops(1.0) == 621.5
+
+
+def test_serial_methods_are_overhead_bound():
+    # Observation 10: serial methods sit far below both roofs.
+    for name in ("fpzip", "gorilla", "chimp", "buff", "spdp"):
+        comp = get_compressor(name)
+        point = analyze(name, comp.cost, comp.cost.anchor_compress_gbs)
+        assert point.bound == "overhead", name
+
+
+def test_ndzip_methods_compute_bound():
+    for name in ("ndzip-cpu", "ndzip-gpu"):
+        comp = get_compressor(name)
+        point = analyze(name, comp.cost, comp.cost.anchor_compress_gbs)
+        assert point.bound == "compute", name
+
+
+def test_gpu_delta_methods_memory_bound():
+    for name in ("gfc", "nvcomp-bitcomp", "mpc"):
+        comp = get_compressor(name)
+        point = analyze(name, comp.cost, comp.cost.anchor_compress_gbs)
+        assert point.bound == "memory", name
+
+
+def test_nvcomp_lz4_divergence_keeps_it_low():
+    comp = get_compressor("nvcomp-lz4")
+    point = analyze("nvcomp-lz4", comp.cost, comp.cost.anchor_compress_gbs)
+    assert point.bound == "overhead"
+    assert point.roof_fraction < 0.05
+
+
+def test_achieved_consistent_with_throughput():
+    comp = get_compressor("gfc")
+    point = analyze("gfc", comp.cost, 10.0)
+    kernel = comp.cost.dominant_kernel("compress")
+    assert point.achieved_gops == kernel.total_ops * 10.0

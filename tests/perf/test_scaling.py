@@ -1,0 +1,55 @@
+"""Tests for the thread-scaling model (Tables 7-8)."""
+
+import pytest
+
+from repro.compressors import get_compressor
+from repro.perf.timing import PerformanceModel
+
+PERF = PerformanceModel()
+
+
+def test_single_thread_rates_match_paper():
+    # Table 7's thread-1 row.
+    expected = {
+        "pfpc": 133.0, "bitshuffle-lz4": 997.0,
+        "bitshuffle-zstd": 250.0, "ndzip-cpu": 1655.0,
+    }
+    for name, mbs in expected.items():
+        cost = get_compressor(name).cost
+        assert PERF.scaled_throughput_mbs(cost, 1) == pytest.approx(mbs)
+
+
+def test_parallel_methods_scale_up():
+    # Observation 7: 3-4x speedup by 16-24 threads.
+    for name in ("pfpc", "bitshuffle-lz4", "bitshuffle-zstd"):
+        cost = get_compressor(name).cost
+        t1 = PERF.scaled_throughput_mbs(cost, 1)
+        t24 = PERF.scaled_throughput_mbs(cost, 24)
+        assert t24 / t1 > 2.5, name
+
+
+def test_oversubscription_hurts():
+    for name in ("pfpc", "bitshuffle-lz4", "bitshuffle-zstd"):
+        cost = get_compressor(name).cost
+        best = max(
+            PERF.scaled_throughput_mbs(cost, t) for t in (8, 16, 24, 32)
+        )
+        assert PERF.scaled_throughput_mbs(cost, 48) < best, name
+
+
+def test_ndzip_cpu_does_not_scale():
+    # The paper attributes flat scaling to an implementation issue.
+    cost = get_compressor("ndzip-cpu").cost
+    t1 = PERF.scaled_throughput_mbs(cost, 1)
+    t16 = PERF.scaled_throughput_mbs(cost, 16)
+    assert t16 == pytest.approx(t1, rel=0.05)
+
+
+def test_zstd_scales_best():
+    # Table 7: bitshuffle+zstd reaches ~11x, the best of the four.
+    zstd = get_compressor("bitshuffle-zstd").cost
+    lz4 = get_compressor("bitshuffle-lz4").cost
+    zstd_speedup = PERF.scaled_throughput_mbs(zstd, 24) / PERF.scaled_throughput_mbs(zstd, 1)
+    lz4_speedup = PERF.scaled_throughput_mbs(lz4, 24) / PERF.scaled_throughput_mbs(lz4, 1)
+    assert zstd_speedup > lz4_speedup
+    assert zstd_speedup > 6.0

@@ -1,0 +1,69 @@
+"""Tests for the performance model's timing composition."""
+
+import pytest
+
+from repro.compressors import get_compressor
+from repro.perf.timing import PerformanceModel
+
+PERF = PerformanceModel()
+GB = 10**9
+
+
+def test_throughput_matches_anchor_at_default_block():
+    cost = get_compressor("pfpc").cost
+    assert PERF.throughput_gbs(cost, GB) == pytest.approx(0.564)
+
+
+def test_small_blocks_slow_cpu_methods():
+    cost = get_compressor("pfpc").cost
+    rate_4k = PERF.throughput_gbs(cost, GB, block_bytes=4096)
+    rate_64k = PERF.throughput_gbs(cost, GB, block_bytes=65536)
+    rate_8m = PERF.throughput_gbs(cost, GB, block_bytes=8 << 20)
+    assert rate_4k < rate_64k < rate_8m
+
+
+def test_bitshuffle_cache_rolloff_at_8m():
+    # Table 10: bitshuffle peaks at 64 KB (L1/L2 residency), not 8 MB.
+    cost = get_compressor("bitshuffle-lz4").cost
+    rate_64k = PERF.throughput_gbs(cost, GB, block_bytes=65536)
+    rate_8m = PERF.throughput_gbs(cost, GB, block_bytes=8 << 20)
+    assert rate_8m < rate_64k
+
+
+def test_gpu_end_to_end_includes_transfers():
+    cost = get_compressor("gfc").cost
+    kernel = PERF.kernel_seconds(cost, GB, "compress")
+    total = PERF.end_to_end_seconds(cost, GB, GB // 2, "compress")
+    assert total > kernel * 3  # PCIe dominates GFC's wall time
+
+
+def test_cpu_end_to_end_equals_kernel_time():
+    cost = get_compressor("fpzip").cost
+    kernel = PERF.kernel_seconds(cost, GB, "compress")
+    total = PERF.end_to_end_seconds(cost, GB, GB // 2, "compress")
+    assert total == pytest.approx(kernel)
+
+
+def test_breakdown_components_sum():
+    cost = get_compressor("mpc").cost
+    b = PERF.breakdown(cost, GB, GB // 2, "compress")
+    assert b.total_seconds == pytest.approx(
+        b.kernel_seconds + b.transfer_seconds + b.launch_seconds
+    )
+
+
+def test_gpu_faster_than_cpu_kernels():
+    # Observation 3: GPU methods are orders of magnitude faster.
+    gfc = PERF.throughput_gbs(get_compressor("gfc").cost, GB)
+    gorilla = PERF.throughput_gbs(get_compressor("gorilla").cost, GB)
+    assert gfc / gorilla > 350
+
+
+def test_scaled_throughput_requires_scaling_spec():
+    with pytest.raises(ValueError):
+        PERF.scaled_throughput_mbs(get_compressor("gfc").cost, 4)
+
+
+def test_invalid_direction_rejected():
+    with pytest.raises(ValueError):
+        PERF.kernel_seconds(get_compressor("gfc").cost, GB, "sideways")

@@ -1,0 +1,37 @@
+"""Tests for the text CD diagram."""
+
+import numpy as np
+
+from repro.stats.cd_diagram import render_cd_diagram
+from repro.stats.nemenyi import nemenyi_test
+
+
+def _result():
+    return nemenyi_test(
+        ["alpha", "beta", "gamma", "delta"],
+        np.array([1.2, 1.5, 3.0, 3.9]),
+        30,
+    )
+
+
+def test_contains_every_method_and_rank():
+    text = render_cd_diagram(_result())
+    for name in ("alpha", "beta", "gamma", "delta"):
+        assert name in text
+    assert "1.20" in text and "3.90" in text
+
+
+def test_best_method_listed_first():
+    lines = render_cd_diagram(_result()).splitlines()
+    label_lines = [l for l in lines if "(" in l and "CD" not in l]
+    assert label_lines[0].strip().startswith("alpha")
+
+
+def test_cd_header():
+    assert render_cd_diagram(_result()).startswith("CD = ")
+
+
+def test_clique_bars_present():
+    text = render_cd_diagram(_result())
+    assert "cliques" in text
+    assert "=" in text.split("cliques")[1]

@@ -1,0 +1,54 @@
+"""Tests for descriptive aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.stats.descriptive import (
+    arithmetic_mean,
+    boxplot_stats,
+    harmonic_mean,
+)
+
+
+def test_harmonic_mean_known():
+    assert harmonic_mean([1.0, 2.0, 4.0]) == pytest.approx(12 / 7)
+
+
+def test_harmonic_below_arithmetic():
+    values = [1.1, 2.5, 0.9, 1.4]
+    assert harmonic_mean(values) < arithmetic_mean(values)
+
+
+def test_harmonic_requires_positive():
+    with pytest.raises(ValueError):
+        harmonic_mean([1.0, -2.0])
+
+
+def test_nan_skipped():
+    assert harmonic_mean([2.0, np.nan, 2.0]) == pytest.approx(2.0)
+    assert arithmetic_mean([1.0, np.nan, 3.0]) == pytest.approx(2.0)
+
+
+def test_empty_is_nan():
+    assert np.isnan(harmonic_mean([]))
+    assert np.isnan(arithmetic_mean([np.nan]))
+
+
+def test_boxplot_five_numbers():
+    stats = boxplot_stats(np.arange(1, 102, dtype=np.float64))
+    assert stats.median == 51.0
+    assert stats.q1 == 26.0
+    assert stats.q3 == 76.0
+    assert stats.outliers == ()
+
+
+def test_boxplot_detects_outliers():
+    values = np.concatenate([np.random.default_rng(0).normal(10, 1, 200), [50.0]])
+    stats = boxplot_stats(values)
+    assert 50.0 in stats.outliers
+    assert stats.whisker_high < 50.0
+
+
+def test_boxplot_empty_rejected():
+    with pytest.raises(ValueError):
+        boxplot_stats([])

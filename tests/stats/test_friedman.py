@@ -1,0 +1,45 @@
+"""Tests for the Friedman test (validated against scipy)."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats.friedman import friedman_test
+
+
+def test_matches_scipy_chisquare():
+    rng = np.random.default_rng(1)
+    scores = rng.normal(0, 1, (25, 6))
+    ours = friedman_test(scores)
+    ref_chi2, ref_p = scipy_stats.friedmanchisquare(
+        *[-scores[:, j] for j in range(6)]
+    )
+    assert ours.chi_square == pytest.approx(ref_chi2)
+    assert ours.chi_square_pvalue == pytest.approx(ref_p)
+
+
+def test_distinguishable_methods_rejected():
+    rng = np.random.default_rng(2)
+    scores = rng.normal(0, 0.05, (33, 13)) + np.linspace(0, 2, 13)
+    result = friedman_test(scores)
+    assert result.rejects_null(0.05)
+    assert result.n_datasets == 33
+    assert result.n_methods == 13
+
+
+def test_identical_methods_not_rejected():
+    rng = np.random.default_rng(3)
+    scores = rng.normal(0, 1.0, (20, 5))
+    result = friedman_test(scores)
+    assert result.chi_square_pvalue > 0.001  # no systematic differences
+
+
+def test_average_ranks_ordering():
+    scores = np.tile(np.array([3.0, 2.0, 1.0]), (10, 1))
+    result = friedman_test(scores)
+    assert result.average_ranks[0] < result.average_ranks[2]
+
+
+def test_too_small_input_rejected():
+    with pytest.raises(ValueError):
+        friedman_test(np.ones((1, 5)))

@@ -1,0 +1,56 @@
+"""Tests for Mann-Whitney U (validated against scipy)."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats.mannwhitney import mann_whitney_u
+
+
+def test_matches_scipy_no_ties():
+    rng = np.random.default_rng(4)
+    a, b = rng.normal(0, 1, 40), rng.normal(0.6, 1, 35)
+    ours = mann_whitney_u(a, b)
+    ref = scipy_stats.mannwhitneyu(a, b, alternative="two-sided",
+                                   method="asymptotic")
+    assert ours.p_value == pytest.approx(ref.pvalue, abs=5e-3)
+
+
+def test_matches_scipy_with_ties():
+    rng = np.random.default_rng(5)
+    a = np.round(rng.normal(0, 1, 50), 1)
+    b = np.round(rng.normal(0.3, 1, 50), 1)
+    ours = mann_whitney_u(a, b)
+    ref = scipy_stats.mannwhitneyu(a, b, alternative="two-sided",
+                                   method="asymptotic")
+    assert ours.p_value == pytest.approx(ref.pvalue, abs=5e-3)
+
+
+def test_identical_samples_not_significant():
+    rng = np.random.default_rng(6)
+    a = rng.normal(0, 1, 30)
+    result = mann_whitney_u(a, a + rng.normal(0, 1e-6, 30))
+    assert not result.rejects_null(0.05)
+
+
+def test_clearly_shifted_significant():
+    rng = np.random.default_rng(7)
+    result = mann_whitney_u(rng.normal(0, 1, 50), rng.normal(3, 1, 50))
+    assert result.rejects_null(0.01)
+
+
+def test_nan_entries_dropped():
+    a = np.array([1.0, 2.0, np.nan, 3.0])
+    b = np.array([1.5, np.nan, 2.5])
+    result = mann_whitney_u(a, b)
+    assert np.isfinite(result.p_value)
+
+
+def test_empty_sample_rejected():
+    with pytest.raises(ValueError):
+        mann_whitney_u(np.array([]), np.array([1.0]))
+
+
+def test_all_tied_degenerate():
+    result = mann_whitney_u(np.ones(10), np.ones(10))
+    assert result.p_value == 1.0

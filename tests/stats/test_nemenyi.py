@@ -1,0 +1,53 @@
+"""Tests for the Nemenyi critical difference."""
+
+import numpy as np
+import pytest
+
+from repro.stats.nemenyi import critical_difference, nemenyi_test
+
+
+def test_paper_cd_value():
+    # k=13, N=33, alpha=0.05 is the paper's configuration (section 5.4).
+    assert critical_difference(13, 33) == pytest.approx(3.18, abs=0.02)
+
+
+def test_demsar_reference_value():
+    # Demsar (2006): q_0.05 for k=5 is 2.728 -> CD for N=30.
+    cd = critical_difference(5, 30)
+    assert cd == pytest.approx(2.728 * np.sqrt(5 * 6 / (6 * 30)), rel=1e-3)
+
+
+def test_cd_shrinks_with_more_datasets():
+    assert critical_difference(10, 100) < critical_difference(10, 20)
+
+
+def test_invalid_args():
+    with pytest.raises(ValueError):
+        critical_difference(1, 10)
+
+
+def test_ordered_and_significance():
+    result = nemenyi_test(["a", "b", "c"], np.array([2.9, 1.0, 2.5]), 40)
+    assert [m for m, _ in result.ordered()] == ["b", "c", "a"]
+    assert result.significantly_different("b", "a")
+
+
+def test_cliques_are_maximal():
+    ranks = np.array([1.0, 1.1, 1.2, 5.0])
+    result = nemenyi_test(["a", "b", "c", "d"], ranks, 100)
+    # CD(4, 100) ~ 0.47 > 0.2, so {a, b, c} form one maximal clique.
+    cliques = result.cliques()
+    assert ("a", "b", "c") in cliques
+    assert all("d" not in clique for clique in cliques)
+
+
+def test_cliques_split_when_cd_small():
+    ranks = np.array([1.0, 1.2, 1.4, 5.0])
+    result = nemenyi_test(["a", "b", "c", "d"], ranks, 200)
+    # CD(4, 200) ~ 0.33 < 0.4: a-c differ, leaving two overlapping pairs.
+    assert result.cliques() == [("a", "b"), ("b", "c")]
+
+
+def test_rank_length_mismatch():
+    with pytest.raises(ValueError):
+        nemenyi_test(["a"], np.array([1.0, 2.0]), 10)

@@ -1,0 +1,47 @@
+"""Tests for fractional ranking."""
+
+import numpy as np
+
+from repro.stats.ranking import average_ranks, rank_matrix
+
+
+def test_simple_ordering():
+    scores = np.array([[3.0, 1.0, 2.0]])
+    np.testing.assert_array_equal(rank_matrix(scores), [[1.0, 3.0, 2.0]])
+
+
+def test_lower_is_better_mode():
+    scores = np.array([[3.0, 1.0, 2.0]])
+    np.testing.assert_array_equal(
+        rank_matrix(scores, higher_is_better=False), [[3.0, 1.0, 2.0]]
+    )
+
+
+def test_ties_share_mean_rank():
+    scores = np.array([[2.0, 2.0, 1.0]])
+    np.testing.assert_array_equal(rank_matrix(scores), [[1.5, 1.5, 3.0]])
+
+
+def test_missing_entries_get_worst_rank():
+    scores = np.array([[3.0, np.nan, 1.0]])
+    np.testing.assert_array_equal(rank_matrix(scores), [[1.0, 3.0, 2.0]])
+
+
+def test_multiple_missing_tie_at_worst():
+    scores = np.array([[5.0, np.nan, np.nan]])
+    np.testing.assert_array_equal(rank_matrix(scores), [[1.0, 2.5, 2.5]])
+
+
+def test_average_ranks():
+    scores = np.array([[2.0, 1.0], [2.0, 1.0], [1.0, 2.0]])
+    np.testing.assert_allclose(average_ranks(scores), [4 / 3, 5 / 3])
+
+
+def test_matches_scipy_rankdata():
+    from scipy.stats import rankdata
+
+    rng = np.random.default_rng(0)
+    scores = rng.normal(0, 1, (30, 8))
+    ours = rank_matrix(scores, higher_is_better=False)
+    for row, expected in zip(ours, scores):
+        np.testing.assert_allclose(row, rankdata(expected))

@@ -1,0 +1,112 @@
+"""Tests for the chunked container file format."""
+
+import numpy as np
+import pytest
+
+from repro.data import load
+from repro.errors import StorageError
+from repro.storage.container import ContainerReader, ContainerWriter
+
+
+@pytest.fixture
+def sample(tmp_path):
+    arr = load("gas-price", 4096).copy()
+    w = ContainerWriter(chunk_elements=1024)
+    w.add_dataset("gas", arr, filter_name="bitshuffle-lz4")
+    w.add_dataset("raw", arr, filter_name="none")
+    path = tmp_path / "sample.fcbc"
+    w.save(path)
+    return path, arr
+
+
+def test_roundtrip_filtered(sample):
+    path, arr = sample
+    r = ContainerReader(path)
+    np.testing.assert_array_equal(
+        r.read_dataset("gas").view(np.uint64), arr.view(np.uint64)
+    )
+
+
+def test_roundtrip_raw(sample):
+    path, arr = sample
+    np.testing.assert_array_equal(ContainerReader(path).read_dataset("raw"), arr)
+
+
+def test_info_and_compression_ratio(sample):
+    path, arr = sample
+    info = ContainerReader(path).info("gas")
+    assert info.raw_bytes == arr.nbytes
+    assert info.compression_ratio > 1.0
+    assert info.filter_name == "bitshuffle-lz4"
+    assert len(info.chunks) == -(-arr.size // 1024)
+
+
+def test_bytes_read_accounting(sample):
+    path, _ = sample
+    r = ContainerReader(path)
+    assert r.bytes_read == 0
+    r.read_dataset("gas")
+    assert r.bytes_read == r.info("gas").compressed_bytes
+
+
+def test_duplicate_dataset_rejected():
+    w = ContainerWriter()
+    w.add_dataset("x", np.ones(4))
+    with pytest.raises(StorageError, match="already added"):
+        w.add_dataset("x", np.ones(4))
+
+
+def test_integer_data_rejected():
+    with pytest.raises(StorageError):
+        ContainerWriter().add_dataset("x", np.arange(4))
+
+
+def test_unknown_dataset(sample):
+    path, _ = sample
+    with pytest.raises(StorageError, match="no dataset"):
+        ContainerReader(path).info("nope")
+
+
+def test_not_a_container(tmp_path):
+    path = tmp_path / "junk.bin"
+    path.write_bytes(b"not a container file")
+    with pytest.raises(StorageError):
+        ContainerReader(path)
+
+
+def test_truncated_file_detected(sample, tmp_path):
+    path, _ = sample
+    data = path.read_bytes()
+    short = tmp_path / "short.fcbc"
+    short.write_bytes(data[: len(data) - 10])
+    with pytest.raises(StorageError, match="trailer"):
+        ContainerReader(short)
+
+
+def test_f32_dataset_with_double_only_filter(tmp_path):
+    arr = load("rsim", 2048).copy()
+    w = ContainerWriter(chunk_elements=512)
+    w.add_dataset("rsim", arr, filter_name="pfpc")
+    path = tmp_path / "f32.fcbc"
+    w.save(path)
+    out = ContainerReader(path).read_dataset("rsim")
+    np.testing.assert_array_equal(out.view(np.uint32), arr.view(np.uint32))
+
+
+def test_empty_dataset(tmp_path):
+    w = ContainerWriter()
+    w.add_dataset("empty", np.array([], dtype=np.float64), "chimp")
+    path = tmp_path / "empty.fcbc"
+    w.save(path)
+    assert ContainerReader(path).read_dataset("empty").size == 0
+
+
+def test_multidim_shape_preserved(tmp_path):
+    arr = np.random.default_rng(0).normal(0, 1, (13, 5, 7))
+    w = ContainerWriter(chunk_elements=64)
+    w.add_dataset("cube", arr, "gorilla")
+    path = tmp_path / "cube.fcbc"
+    w.save(path)
+    out = ContainerReader(path).read_dataset("cube")
+    assert out.shape == (13, 5, 7)
+    np.testing.assert_array_equal(out, arr)

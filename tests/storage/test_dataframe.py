@@ -1,0 +1,69 @@
+"""Tests for the minimal column dataframe."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.dataframe import DataFrame
+
+
+def test_from_table_2d():
+    table = np.arange(12, dtype=np.float64).reshape(4, 3)
+    df = DataFrame.from_table(table)
+    assert df.column_names == ["c0", "c1", "c2"]
+    assert len(df) == 4
+    np.testing.assert_array_equal(df.column("c1"), [1, 4, 7, 10])
+
+
+def test_from_table_1d():
+    df = DataFrame.from_table(np.ones(5))
+    assert df.column_names == ["c0"]
+
+
+def test_ragged_columns_rejected():
+    with pytest.raises(StorageError, match="ragged"):
+        DataFrame({"a": np.ones(3), "b": np.ones(4)})
+
+
+def test_empty_columns_rejected():
+    with pytest.raises(StorageError):
+        DataFrame({})
+
+
+def test_scan_less_equal():
+    df = DataFrame({"a": np.array([1.0, 5.0, 3.0])})
+    np.testing.assert_array_equal(
+        df.scan_less_equal("a", 3.0), [True, False, True]
+    )
+
+
+def test_select():
+    df = DataFrame({"a": np.arange(6, dtype=np.float64)})
+    out = df.select(df.scan_less_equal("a", 2.0))
+    assert len(out) == 3
+
+
+def test_select_length_mismatch():
+    df = DataFrame({"a": np.ones(3)})
+    with pytest.raises(StorageError, match="mask length"):
+        df.select(np.ones(5, dtype=bool))
+
+
+def test_unknown_column():
+    df = DataFrame({"a": np.ones(3)})
+    with pytest.raises(StorageError, match="no column"):
+        df.column("z")
+
+
+def test_histogram_edges():
+    rng = np.random.default_rng(0)
+    df = DataFrame({"a": rng.normal(0, 1, 1000)})
+    edges = df.histogram_edges("a", bins=10)
+    assert len(edges) == 11
+    assert (np.diff(edges) > 0).all()
+
+
+def test_histogram_ignores_nonfinite():
+    df = DataFrame({"a": np.array([1.0, np.nan, np.inf, 2.0])})
+    edges = df.histogram_edges("a", bins=2)
+    assert np.isfinite(edges).all()

@@ -1,0 +1,51 @@
+"""Tests for paged (block) compression."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.data import load
+from repro.storage.pagestore import PAGE_SIZES, paged_compress, paged_decompress
+
+
+def test_page_sizes_match_table10():
+    assert PAGE_SIZES == {"4K": 4096, "64K": 65536, "8M": 8 * 1024 * 1024}
+
+
+def test_roundtrip_all_page_sizes():
+    comp = get_compressor("chimp")
+    arr = load("gas-price", 4096).copy().ravel()
+    for page_bytes in PAGE_SIZES.values():
+        result = paged_compress(comp, arr, page_bytes)
+        out = paged_decompress(comp, result, arr.dtype)
+        np.testing.assert_array_equal(out.view(np.uint64), arr.view(np.uint64))
+
+
+def test_page_accounting():
+    comp = get_compressor("gorilla")
+    arr = np.ones(4096)
+    result = paged_compress(comp, arr, 4096)
+    assert result.n_pages == arr.nbytes // 4096
+    assert result.raw_bytes == arr.nbytes
+    assert result.compressed_bytes == sum(len(b) for b in result.page_blobs)
+
+
+def test_larger_pages_help_ratio():
+    # Table 10's takeaway: compressors prefer larger blocks.
+    comp = get_compressor("chimp")
+    arr = load("gas-price", 8192).copy().ravel()
+    small = paged_compress(comp, arr, 2048)
+    large = paged_compress(comp, arr, 64 * 1024)
+    assert large.compression_ratio >= small.compression_ratio
+
+
+def test_tiny_page_rejected():
+    with pytest.raises(ValueError):
+        paged_compress(get_compressor("chimp"), np.ones(10), 4)
+
+
+def test_empty_array():
+    comp = get_compressor("chimp")
+    result = paged_compress(comp, np.array([], dtype=np.float64), 4096)
+    assert result.n_pages == 0
+    assert paged_decompress(comp, result, np.float64).size == 0

@@ -1,0 +1,58 @@
+"""Tests for the query micro-benchmark engine (Table 11)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.data import get_spec, load
+from repro.storage.query import QueryBenchmark
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return QueryBenchmark()
+
+
+def test_cost_components_positive(bench):
+    spec = get_spec("tpcH-order")
+    cost = bench.run(
+        get_compressor("chimp"), spec.name, load(spec.name, 4096),
+        spec.paper_bytes, spec.paper_extent[0],
+    )
+    assert cost.read_ms > 0
+    assert cost.decode_ms > 0
+    assert cost.query_ms > 0
+    assert cost.total_ms == pytest.approx(
+        cost.read_ms + cost.decode_ms + cost.query_ms
+    )
+
+
+def test_read_time_scales_with_compressed_size(bench):
+    # Better CR -> fewer bytes read -> shorter read time.
+    spec = get_spec("tpcH-order")
+    arr = load(spec.name, 4096)
+    chimp = bench.run(get_compressor("chimp"), spec.name, arr,
+                      spec.paper_bytes, spec.paper_extent[0])
+    gorilla = bench.run(get_compressor("gorilla"), spec.name, arr,
+                        spec.paper_bytes, spec.paper_extent[0])
+    assert chimp.read_ms < gorilla.read_ms
+
+
+def test_query_time_is_method_independent(bench):
+    # The decoded frames are identical, so scans cost the same.
+    spec = get_spec("tpcDS-web")
+    arr = load(spec.name, 4096)
+    a = bench.run(get_compressor("chimp"), spec.name, arr,
+                  spec.paper_bytes, spec.paper_extent[0])
+    b = bench.run(get_compressor("mpc"), spec.name, arr,
+                  spec.paper_bytes, spec.paper_extent[0])
+    assert a.query_ms == pytest.approx(b.query_ms)
+
+
+def test_serial_decoders_dominate_total(bench):
+    # Observation 9: fpzip's slow decode dwarfs its read time.
+    spec = get_spec("tpcH-order")
+    arr = load(spec.name, 4096)
+    fpzip = bench.run(get_compressor("fpzip"), spec.name, arr,
+                      spec.paper_bytes, spec.paper_extent[0])
+    assert fpzip.decode_ms > 10 * fpzip.read_ms
