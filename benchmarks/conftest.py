@@ -1,9 +1,15 @@
 """Shared fixtures for the table/figure regeneration benchmarks.
 
-The full 14-method x 33-dataset suite is executed once (and cached on
-disk by repro.core.suite); every benchmark consumes the same matrix,
-regenerates its table or figure, asserts the paper's qualitative claims,
-and writes the rendered text to benchmarks/output/.
+The full 14-method x 33-dataset suite is executed once; every benchmark
+consumes the same matrix, regenerates its table or figure, asserts the
+paper's qualitative claims, and writes the rendered text to
+benchmarks/output/.
+
+Suite execution goes through repro.core.suite, which caches each
+(method, dataset) cell individually under .fcbench_cache/cells/ — so a
+compressor edit re-runs only that method's column here — and fans cold
+cells out over a process pool when FCBENCH_JOBS (or jobs=) asks for
+parallelism.
 """
 
 from __future__ import annotations

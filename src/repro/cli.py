@@ -1,0 +1,359 @@
+"""``fcbench`` — drive the benchmark suite without pytest.
+
+Subcommands:
+
+* ``fcbench run``    — execute (a slice of) the measurement matrix,
+  streaming per-cell status, with ``--jobs N`` parallelism and the
+  per-cell incremental cache.
+* ``fcbench report`` — render a paper table (4/5/6) or an arbitrary
+  metric matrix from suite results.
+* ``fcbench cache``  — inspect the cache (``inspect``, the default) or
+  delete entries (``clear``, with ``--stale`` to drop only entries
+  whose cache version or method fingerprint is out of date, plus
+  legacy monolithic ``suite_*.json`` blobs).
+* ``fcbench list``   — enumerate the registered methods and datasets.
+
+Usage — run a single cell, then clear the cache it left behind:
+
+    >>> import tempfile, os
+    >>> os.environ["FCBENCH_CACHE_DIR"] = tempfile.mkdtemp()
+    >>> from repro.cli import main
+    >>> main(["run", "--methods", "gorilla", "--datasets", "citytemp",
+    ...       "--target-elements", "512", "--quiet"])  # doctest: +ELLIPSIS
+    ran 1 cells in ...s (jobs=1) ok=1 failed=0 cache: 0 hits / 1 misses fingerprint=...
+    0
+    >>> main(["cache", "clear"])
+    cleared (all): 1 cell(s), 0 legacy blob(s), 0 kept
+    0
+
+Exit codes: 0 on success (the summary line still reports per-cell
+failures, which include the paper's deliberate "-" skip cells), 1 when
+*no* cell produced a measurement, 2 on bad arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.compressors import compressor_names, get_compressor
+from repro.core import cache as cell_cache
+from repro.core.executor import CellTask
+from repro.core.report import format_matrix, format_table
+from repro.core.results import Measurement, ResultSet
+from repro.core.suite import (
+    default_datasets,
+    default_methods,
+    run_suite_detailed,
+)
+from repro.data.catalog import CATALOG
+from repro.data.loader import DEFAULT_TARGET_ELEMENTS
+
+__all__ = ["main", "build_parser"]
+
+
+def _csv(value: str | None) -> list[str] | None:
+    if not value:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def _validate(kind: str, names: list[str] | None, known: list[str]) -> list[str] | None:
+    if names is None:
+        return None
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown {kind}: {', '.join(unknown)}\n"
+            f"known {kind}: {', '.join(known)}"
+        )
+    return names
+
+
+# ----------------------------------------------------------------------
+# fcbench run
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    methods = _validate("methods", _csv(args.methods), compressor_names())
+    datasets = _validate("datasets", _csv(args.datasets), default_datasets())
+    total = len(methods or default_methods()) * len(datasets or default_datasets())
+    done = {"n": 0}
+
+    def on_cell(task: CellTask, measurement: Measurement, elapsed: float) -> None:
+        done["n"] += 1
+        if args.quiet:
+            return
+        if measurement.ok:
+            status = f"CR={measurement.compression_ratio:7.3f}"
+        else:
+            status = f"skip ({measurement.error})"
+        timing = "   cached" if elapsed == 0.0 else f"{elapsed * 1e3:7.1f}ms"
+        print(
+            f"[{done['n']:4d}/{total}] {task.dataset:<16} {task.method:<16} "
+            f"{timing}  {status}",
+            flush=True,
+        )
+
+    run = run_suite_detailed(
+        methods=methods,
+        datasets=datasets,
+        target_elements=args.target_elements,
+        seed=args.seed,
+        use_cache=not args.no_cache,
+        jobs=args.jobs,
+        on_cell=on_cell,
+    )
+    ok = sum(1 for m in run.results.measurements if m.ok)
+    failed = len(run.results) - ok
+    stats = run.cache_stats
+    print(
+        f"ran {len(run.results)} cells in {run.elapsed_seconds:.2f}s "
+        f"(jobs={run.jobs}) ok={ok} failed={failed} "
+        f"cache: {stats.hits} hits / {stats.misses} misses "
+        f"fingerprint={run.results.fingerprint()}"
+    )
+    # "failed" includes the paper's deliberate "-" cells (GFC size skips);
+    # only a run where nothing succeeded signals a broken harness.
+    return 0 if ok else 1
+
+
+# ----------------------------------------------------------------------
+# fcbench report
+# ----------------------------------------------------------------------
+_REPORT_PRESETS = ("table4", "table5", "table6")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    methods = _validate("methods", _csv(args.methods), compressor_names())
+    datasets = _validate("datasets", _csv(args.datasets), default_datasets())
+    run = run_suite_detailed(
+        methods=methods,
+        datasets=datasets,
+        target_elements=args.target_elements,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    results = run.results
+    if args.metric:
+        print(_metric_matrix(results, args.metric))
+        return 0
+    from repro.core import experiments
+
+    driver = {
+        "table4": experiments.table4_cr_matrix,
+        "table5": experiments.table5_throughput,
+        "table6": experiments.table6_walltime,
+    }[args.what]
+    print(driver(results))
+    return 0
+
+
+def _metric_matrix(results: ResultSet, metric: str) -> str:
+    import dataclasses
+
+    numeric = [
+        f.name
+        for f in dataclasses.fields(Measurement)
+        if f.type in ("int", "float")
+    ]
+    if metric not in numeric:
+        raise SystemExit(
+            f"error: unknown metric {metric!r}\n"
+            f"numeric metrics: {', '.join(numeric)}"
+        )
+    methods = results.methods()
+    datasets = results.datasets()
+    matrix = results.matrix(metric, methods, datasets)
+    display = [get_compressor(m).info.display_name for m in methods]
+    return format_matrix(datasets, display, matrix, title=f"metric: {metric}")
+
+
+# ----------------------------------------------------------------------
+# fcbench cache
+# ----------------------------------------------------------------------
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.action == "clear":
+        counts = cell_cache.clear_cache(stale_only=args.stale)
+        mode = "stale" if args.stale else "all"
+        print(
+            f"cleared ({mode}): {counts['removed_cells']} cell(s), "
+            f"{counts['removed_legacy']} legacy blob(s), "
+            f"{counts['kept']} kept"
+        )
+        return 0
+
+    scan = cell_cache.scan_cache()
+    print(f"cache root: {scan.root}")
+    print(f"cache version: {cell_cache.CACHE_VERSION}")
+    print(
+        f"cells: {len(scan.entries)} "
+        f"({len(scan.stale_entries)} stale, {scan.total_bytes / 1024:.1f} KiB)"
+    )
+    if scan.legacy_blobs:
+        print(
+            f"legacy suite blobs: {len(scan.legacy_blobs)} "
+            "(run `fcbench cache clear --stale` to drop)"
+        )
+    per_method = scan.per_method()
+    if per_method:
+        rows = [[name, str(count)] for name, count in per_method.items()]
+        print(format_table(["method", "cells"], rows))
+    last = cell_cache.read_last_run()
+    if last:
+        print(
+            f"last run: {last.get('hits', 0)} hits / "
+            f"{last.get('misses', 0)} misses over {last.get('cells', '?')} cells "
+            f"(jobs={last.get('jobs', '?')}, "
+            f"{last.get('elapsed_seconds', '?')}s)"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# fcbench list
+# ----------------------------------------------------------------------
+def _cmd_list(args: argparse.Namespace) -> int:
+    show_methods = args.methods or not args.datasets
+    show_datasets = args.datasets or not args.methods
+    if show_methods:
+        rows = []
+        for name in default_methods():
+            info = get_compressor(name).info
+            rows.append(
+                [
+                    name,
+                    info.display_name,
+                    str(info.year),
+                    info.platform,
+                    info.parallelism,
+                    ",".join(sorted(info.precisions)),
+                ]
+            )
+        print(
+            format_table(
+                ["method", "table label", "year", "platform", "parallelism", "prec"],
+                rows,
+            )
+        )
+    if show_datasets:
+        if show_methods:
+            print()
+        rows = [
+            [
+                spec.name,
+                spec.domain,
+                spec.dtype,
+                f"{spec.paper_bytes / 1e6:.0f}",
+                "x".join(str(e) for e in spec.paper_extent),
+            ]
+            for spec in CATALOG
+        ]
+        print(
+            format_table(
+                ["dataset", "domain", "dtype", "paper MB", "paper extent"], rows
+            )
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _add_matrix_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--methods", help="comma-separated method names (default: all 14)"
+    )
+    parser.add_argument(
+        "--datasets", help="comma-separated dataset names (default: all 33)"
+    )
+    parser.add_argument(
+        "--target-elements",
+        type=int,
+        default=DEFAULT_TARGET_ELEMENTS,
+        help="per-dataset element budget (default %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="data generator seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: FCBENCH_JOBS env or 1 = serial)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fcbench",
+        description="FCBench reproduction: run, report, and cache the "
+        "14-method x 33-dataset measurement matrix.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute the measurement matrix")
+    _add_matrix_args(p_run)
+    p_run.add_argument(
+        "--no-cache", action="store_true", help="ignore and do not write the cache"
+    )
+    p_run.add_argument(
+        "--quiet", action="store_true", help="summary line only, no per-cell status"
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_report = sub.add_parser("report", help="render a paper table from results")
+    p_report.add_argument(
+        "what",
+        nargs="?",
+        default="table4",
+        choices=_REPORT_PRESETS,
+        help="which table to render (default %(default)s)",
+    )
+    p_report.add_argument(
+        "--metric",
+        help="render an arbitrary Measurement field as a matrix instead",
+    )
+    _add_matrix_args(p_report)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the per-cell cache")
+    p_cache.add_argument(
+        "action",
+        nargs="?",
+        default="inspect",
+        choices=("inspect", "clear"),
+    )
+    p_cache.add_argument(
+        "--stale",
+        action="store_true",
+        help="with clear: drop only version/fingerprint-stale entries "
+        "and legacy suite blobs",
+    )
+    p_cache.set_defaults(func=_cmd_cache)
+
+    p_list = sub.add_parser("list", help="enumerate methods and datasets")
+    p_list.add_argument("--methods", action="store_true", help="methods only")
+    p_list.add_argument("--datasets", action="store_true", help="datasets only")
+    p_list.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SystemExit as exc:  # argparse errors or our own messages
+        if isinstance(exc.code, str):
+            print(exc.code, file=sys.stderr)
+            return 2
+        return exc.code if exc.code is not None else 0
+    except BrokenPipeError:  # e.g. `fcbench list | head`
+        return 0
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ from repro.compressors.base import (
     MethodInfo,
     compressor_names,
     get_compressor,
+    method_fingerprint,
     paper_table_order,
     register,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "MethodInfo",
     "compressor_names",
     "get_compressor",
+    "method_fingerprint",
     "paper_table_order",
     "register",
     "BitshuffleLz4Compressor",

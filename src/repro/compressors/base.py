@@ -9,8 +9,14 @@ the paper's tables use.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import inspect
+import json
+import sys
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -24,6 +30,8 @@ __all__ = [
     "register",
     "get_compressor",
     "compressor_names",
+    "method_fingerprint",
+    "stable_repr",
     "paper_table_order",
     "PAPER_TABLE_ORDER",
 ]
@@ -212,3 +220,58 @@ def compressor_names() -> list[str]:
 def paper_table_order() -> list[str]:
     """Registered methods in the paper's table column order."""
     return [name for name in PAPER_TABLE_ORDER if name in _REGISTRY]
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting (per-cell cache keys)
+# ----------------------------------------------------------------------
+def stable_repr(obj: object) -> str:
+    """Deterministic textual form of a (possibly nested) dataclass.
+
+    ``repr`` is not process-stable for sets (string hash randomization
+    reorders frozenset elements), which would fingerprint the same
+    method differently in every interpreter.  Serialize via JSON with
+    sorted keys and sorted set elements instead.
+    """
+
+    def default(value: object):
+        if isinstance(value, (set, frozenset)):
+            return sorted(value)
+        return repr(value)
+
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        obj = dataclasses.asdict(obj)
+    return json.dumps(obj, sort_keys=True, default=default)
+
+
+@lru_cache(maxsize=None)
+def method_fingerprint(name: str) -> str:
+    """Digest of everything that defines method ``name``'s behavior.
+
+    Hashes the source of the module implementing the compressor plus its
+    metadata, cost model, and input limit.  Editing one compressor file
+    therefore changes only that method's fingerprint, which is what lets
+    the per-cell suite cache re-run a single column instead of the whole
+    matrix.  Raises ``KeyError`` for unregistered names.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown compressor {name!r}; known: {known}") from None
+    module = sys.modules.get(cls.__module__)
+    try:
+        source = inspect.getsource(module) if module else ""
+    except (OSError, TypeError):
+        source = ""
+    payload = "|".join(
+        [
+            cls.__module__,
+            cls.__qualname__,
+            hashlib.sha256(source.encode()).hexdigest(),
+            stable_repr(cls.info),
+            stable_repr(cls.cost),
+            str(cls.max_input_bytes),
+        ]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]

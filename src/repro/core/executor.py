@@ -1,0 +1,174 @@
+"""Parallel execution engine for (method, dataset) benchmark cells.
+
+The suite's measurement matrix is embarrassingly parallel: every cell
+is an independent compress/verify/measure job.  This module fans cells
+out over a ``ProcessPoolExecutor`` while keeping three guarantees:
+
+* **Determinism** — results come back in task order regardless of
+  completion order, so a parallel run assembles the exact same
+  ``ResultSet`` a serial run would (modulo the wall-clock
+  ``measured_*`` fields, which are excluded from
+  :meth:`~repro.core.results.ResultSet.fingerprint`).
+* **Fault isolation** — an exception inside one worker cell becomes a
+  failed :class:`~repro.core.results.Measurement` for that cell; the
+  rest of the suite still completes.
+* **Graceful degradation** — ``jobs=1`` (the default) runs serially in
+  process, and environments where process pools cannot start fall back
+  to the serial path instead of crashing.
+
+Worker count resolution order: explicit ``jobs`` argument, then the
+``FCBENCH_JOBS`` environment variable, then 1 (serial).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.results import Measurement
+from repro.core.runner import BenchmarkRunner
+from repro.data.catalog import get_spec
+from repro.data.loader import DEFAULT_TARGET_ELEMENTS, load
+
+__all__ = ["CellTask", "execute_cells", "resolve_jobs"]
+
+#: Callback fired in the parent as each cell finishes:
+#: ``on_result(task, measurement, elapsed_seconds)``.
+CellCallback = Callable[["CellTask", Measurement, float], None]
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One (method, dataset) cell of the measurement matrix."""
+
+    method: str
+    dataset: str
+    target_elements: int = DEFAULT_TARGET_ELEMENTS
+    seed: int = 0
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve the worker count: argument, then FCBENCH_JOBS, then 1."""
+    if jobs is None:
+        env = os.environ.get("FCBENCH_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = 1
+        else:
+            jobs = 1
+    return max(1, int(jobs))
+
+
+def _failure(task: CellTask, exc: BaseException) -> Measurement:
+    """Synthesize a failed measurement for a cell whose worker blew up."""
+    try:
+        spec = get_spec(task.dataset)
+        domain = spec.domain
+        precision = "D" if spec.dtype == "f64" else "S"
+    except Exception:  # the dataset name itself was the problem
+        domain = "?"
+        precision = "?"
+    return Measurement(
+        method=task.method,
+        dataset=task.dataset,
+        domain=domain,
+        precision=precision,
+        ok=False,
+        error=f"{type(exc).__name__}: {exc}",
+        transient=True,
+    )
+
+
+def _execute_one(runner: BenchmarkRunner, task: CellTask) -> tuple[Measurement, float]:
+    """Worker entry point: load the dataset, run the cell, never raise.
+
+    Runs in the parent (serial path) or a pool worker (parallel path);
+    the dataset loader's per-process LRU cache keeps repeated loads of
+    the same dataset cheap either way.
+    """
+    start = time.perf_counter()
+    try:
+        array = load(task.dataset, task.target_elements, task.seed)
+        spec = get_spec(task.dataset)
+        measurement = runner.run_cell(task.method, array, spec)
+    except Exception as exc:  # fault isolation: one bad cell != dead suite
+        measurement = _failure(task, exc)
+    return measurement, time.perf_counter() - start
+
+
+def _execute_serial(
+    runner: BenchmarkRunner,
+    tasks: list[CellTask],
+    on_result: CellCallback | None,
+) -> list[Measurement]:
+    results = []
+    for task in tasks:
+        measurement, elapsed = _execute_one(runner, task)
+        results.append(measurement)
+        if on_result is not None:
+            on_result(task, measurement, elapsed)
+    return results
+
+
+def execute_cells(
+    tasks: list[CellTask],
+    runner: BenchmarkRunner | None = None,
+    jobs: int | None = None,
+    on_result: CellCallback | None = None,
+) -> list[Measurement]:
+    """Execute ``tasks`` and return measurements in task order.
+
+    With ``jobs > 1`` the cells run in a process pool; the ``runner`` is
+    pickled to each worker (progress callbacks attached to the runner
+    are dropped in transit — use ``on_result``, which always fires in
+    the parent process, for streaming status).
+    """
+    runner = runner or BenchmarkRunner()
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(tasks) <= 1:
+        return _execute_serial(runner, tasks, on_result)
+
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+    except (OSError, PermissionError):  # sandboxed / fork-less environments
+        return _execute_serial(runner, tasks, on_result)
+
+    slots: list[Measurement | None] = [None] * len(tasks)
+    with pool:
+        try:
+            future_index = {
+                pool.submit(_execute_one, runner, task): index
+                for index, task in enumerate(tasks)
+            }
+            pending = set(future_index)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = future_index[future]
+                    try:
+                        measurement, elapsed = future.result()
+                    except BrokenProcessPool:
+                        continue  # re-run serially below
+                    except Exception as exc:  # pickle errors and the like
+                        measurement, elapsed = _failure(tasks[index], exc), 0.0
+                    slots[index] = measurement
+                    if on_result is not None:
+                        on_result(tasks[index], measurement, elapsed)
+        except BaseException:
+            for future in future_index:
+                future.cancel()
+            raise
+    # A broken pool can abandon cells wholesale; finish those serially.
+    for index, measurement in enumerate(slots):
+        if measurement is None:
+            measurement, elapsed = _execute_one(runner, tasks[index])
+            slots[index] = measurement
+            if on_result is not None:
+                on_result(tasks[index], measurement, elapsed)
+    return [m for m in slots if m is not None]

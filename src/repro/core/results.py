@@ -9,6 +9,7 @@ round-tripping so the expensive suite run is cached on disk.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import os
@@ -29,6 +30,11 @@ class Measurement:
     precision: str  # "S" | "D" (of the data as compressed)
     ok: bool
     error: str = ""
+    #: True for failures synthesized from unexpected worker exceptions
+    #: (crashes, resource exhaustion) — potentially transient, so the
+    #: suite cache never persists them.  Policy failures recorded by the
+    #: runner (skips, roundtrip mismatches) stay False and are cacheable.
+    transient: bool = False
     input_bytes: int = 0
     compressed_bytes: int = 0
     compression_ratio: float = float("nan")
@@ -115,6 +121,34 @@ class ResultSet:
         return np.asarray(
             [v for v in vals if not (isinstance(v, float) and math.isnan(v))]
         )
+
+    # ------------------------------------------------------------------
+    # Determinism
+    # ------------------------------------------------------------------
+    #: Wall-clock fields that legitimately differ between two runs of the
+    #: same configuration (everything else is deterministic).
+    NONDETERMINISTIC_FIELDS = ("measured_compress_s", "measured_decompress_s")
+
+    def canonical(self, include_measured: bool = False) -> list[dict]:
+        """Order-independent, comparison-ready view of the measurements.
+
+        Rows are sorted by (dataset, method); unless ``include_measured``
+        the wall-clock timing fields are dropped, leaving only values
+        that are bit-identical across serial and parallel runs.
+        """
+        rows = []
+        for m in sorted(self.measurements, key=lambda m: (m.dataset, m.method)):
+            row = asdict(m)
+            if not include_measured:
+                for name in self.NONDETERMINISTIC_FIELDS:
+                    row.pop(name, None)
+            rows.append(row)
+        return rows
+
+    def fingerprint(self) -> str:
+        """Digest of the deterministic content (serial == parallel)."""
+        payload = json.dumps(self.canonical(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     # ------------------------------------------------------------------
     # Persistence

@@ -15,11 +15,29 @@ Paper-faithful policies implemented here:
   limit — these become the "-" cells of Table 4;
 * every stream is verified to round-trip bit-exactly before a
   measurement is recorded.
+
+Usage — run one cell and inspect the measurement:
+
+    >>> from repro.core.runner import BenchmarkRunner
+    >>> from repro.data.catalog import get_spec
+    >>> from repro.data.loader import load
+    >>> runner = BenchmarkRunner()
+    >>> cell = runner.run_cell("gorilla", load("citytemp", 512), get_spec("citytemp"))
+    >>> cell.ok
+    True
+    >>> cell.compression_ratio > 0.5
+    True
+
+A runner can stream per-cell progress through an ``on_result`` callback
+(the CLI uses this to print live status); the callback is dropped when
+a runner is pickled to pool workers, so parallel callers should use the
+executor's parent-side ``on_result`` hook instead.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Callable
 
 import numpy as np
 
@@ -49,10 +67,20 @@ class BenchmarkRunner:
         perf: PerformanceModel | None = None,
         verify: bool = True,
         paper_limits: bool = True,
+        on_result: Callable[[Measurement, float], None] | None = None,
     ) -> None:
         self.perf = perf or PerformanceModel()
         self.verify = verify
         self.paper_limits = paper_limits
+        #: Fired after every cell as ``on_result(measurement, elapsed_s)``.
+        self.on_result = on_result
+
+    def __getstate__(self) -> dict:
+        # Callbacks are process-local (often closures over live objects);
+        # drop them so runners can ship to ProcessPoolExecutor workers.
+        state = self.__dict__.copy()
+        state["on_result"] = None
+        return state
 
     def prepare_input(
         self, compressor: Compressor, array: np.ndarray
@@ -78,7 +106,19 @@ class BenchmarkRunner:
         array: np.ndarray,
         spec: DatasetSpec,
     ) -> Measurement:
-        """Evaluate one method on one dataset."""
+        """Evaluate one method on one dataset (fires ``on_result``)."""
+        start = time.perf_counter()
+        measurement = self._run_cell(method, array, spec)
+        if self.on_result is not None:
+            self.on_result(measurement, time.perf_counter() - start)
+        return measurement
+
+    def _run_cell(
+        self,
+        method: str,
+        array: np.ndarray,
+        spec: DatasetSpec,
+    ) -> Measurement:
         compressor = get_compressor(method)
         skip = self._paper_scale_skip(compressor, spec)
         if skip:

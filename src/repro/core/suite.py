@@ -1,29 +1,64 @@
-"""Full-suite orchestration with on-disk caching.
+"""Full-suite orchestration: parallel execution + per-cell caching.
 
-Running all 14 table methods over all 33 datasets takes a couple of
-minutes with pure-Python codecs, and a dozen benchmarks all need the
-same matrix, so suite runs are cached as JSON keyed by their exact
-configuration.  Dzip is excluded from the default method list exactly
-as the paper excludes it from the headline tables (section 4.5).
+Running all 14 table methods over all 33 datasets is ~462 independent
+(method, dataset) cells.  ``run_suite`` fans them out over the
+:mod:`~repro.core.executor` process pool and caches each cell
+individually through :mod:`~repro.core.cache`, so
+
+* multi-core hardware cuts a cold run roughly by the worker count, and
+* editing one compressor re-runs only that method's column — every
+  other cell is a cache hit.
+
+Dzip is excluded from the default method list exactly as the paper
+excludes it from the headline tables (section 4.5).
+
+Usage — run a 2x2 slice of the matrix, then hit the cache:
+
+    >>> import tempfile, os
+    >>> os.environ["FCBENCH_CACHE_DIR"] = tempfile.mkdtemp()
+    >>> from repro.core.suite import run_suite, run_suite_detailed
+    >>> results = run_suite(methods=["gorilla", "chimp"],
+    ...                     datasets=["citytemp", "gas-price"],
+    ...                     target_elements=1024)
+    >>> len(results)
+    4
+    >>> rerun = run_suite_detailed(methods=["gorilla", "chimp"],
+    ...                            datasets=["citytemp", "gas-price"],
+    ...                            target_elements=1024)
+    >>> (rerun.cache_stats.hits, rerun.cache_stats.misses)
+    (4, 0)
+    >>> rerun.results.fingerprint() == results.fingerprint()
+    True
+
+Parallelism is opt-in: pass ``jobs=N`` (or set ``FCBENCH_JOBS``) and
+the same call returns a result set whose ``fingerprint()`` is identical
+to the serial run's.
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
-from pathlib import Path
+import time
+from dataclasses import dataclass
 
 from repro.compressors import paper_table_order
-from repro.core.results import ResultSet
+from repro.core.cache import CACHE_VERSION, CacheStats, CellCache, cache_dir, write_last_run
+from repro.core.executor import CellCallback, CellTask, execute_cells, resolve_jobs
+from repro.core.results import Measurement, ResultSet
 from repro.core.runner import BenchmarkRunner
-from repro.data.catalog import CATALOG, get_spec
-from repro.data.loader import DEFAULT_TARGET_ELEMENTS, load
+from repro.data.catalog import CATALOG
+from repro.data.loader import DEFAULT_TARGET_ELEMENTS
 
-__all__ = ["run_suite", "default_methods", "default_datasets", "cache_dir"]
+__all__ = [
+    "SuiteRun",
+    "run_suite",
+    "run_suite_detailed",
+    "default_methods",
+    "default_datasets",
+    "cache_dir",
+]
 
-#: Bump when any compressor, generator, or cost model changes, so stale
-#: suite caches are never reused.
-_CACHE_VERSION = "v12"
+#: Re-exported for callers that keyed off the old module-level constant.
+_CACHE_VERSION = CACHE_VERSION
 
 
 def default_methods() -> list[str]:
@@ -36,23 +71,14 @@ def default_datasets() -> list[str]:
     return [spec.name for spec in CATALOG]
 
 
-def cache_dir() -> Path:
-    """Directory for suite caches (override with FCBENCH_CACHE_DIR)."""
-    root = os.environ.get("FCBENCH_CACHE_DIR")
-    path = Path(root) if root else Path(__file__).resolve().parents[3] / ".fcbench_cache"
-    path.mkdir(parents=True, exist_ok=True)
-    return path
+@dataclass
+class SuiteRun:
+    """A suite's results plus the execution/caching bookkeeping."""
 
-
-def _cache_key(
-    methods: list[str], datasets: list[str], target_elements: int, seed: int
-) -> str:
-    digest = hashlib.sha256(
-        "|".join(
-            [_CACHE_VERSION, *methods, *datasets, str(target_elements), str(seed)]
-        ).encode()
-    ).hexdigest()[:20]
-    return f"suite_{digest}.json"
+    results: ResultSet
+    cache_stats: CacheStats
+    elapsed_seconds: float
+    jobs: int
 
 
 def run_suite(
@@ -63,35 +89,108 @@ def run_suite(
     use_cache: bool = True,
     runner: BenchmarkRunner | None = None,
     progress: bool = False,
+    jobs: int | None = None,
+    on_cell: CellCallback | None = None,
 ) -> ResultSet:
     """Evaluate ``methods`` x ``datasets`` and return the result matrix.
 
-    Results are cached on disk; pass ``use_cache=False`` (or a custom
-    ``runner``) to force re-execution.
+    Cells are cached individually on disk; pass ``use_cache=False`` (or
+    a custom ``runner``) to force re-execution.  ``jobs`` selects the
+    process-pool width (``FCBENCH_JOBS`` overrides, default serial);
+    ``on_cell(task, measurement, elapsed_s)`` streams per-cell status.
     """
+    return run_suite_detailed(
+        methods=methods,
+        datasets=datasets,
+        target_elements=target_elements,
+        seed=seed,
+        use_cache=use_cache,
+        runner=runner,
+        progress=progress,
+        jobs=jobs,
+        on_cell=on_cell,
+    ).results
+
+
+def run_suite_detailed(
+    methods: list[str] | None = None,
+    datasets: list[str] | None = None,
+    target_elements: int = DEFAULT_TARGET_ELEMENTS,
+    seed: int = 0,
+    use_cache: bool = True,
+    runner: BenchmarkRunner | None = None,
+    progress: bool = False,
+    jobs: int | None = None,
+    on_cell: CellCallback | None = None,
+) -> SuiteRun:
+    """Like :func:`run_suite` but also returns cache/timing bookkeeping."""
     methods = methods or default_methods()
     datasets = datasets or default_datasets()
-
-    cache_path = cache_dir() / _cache_key(methods, datasets, target_elements, seed)
-    if use_cache and runner is None and cache_path.exists():
-        return ResultSet.from_json(cache_path)
-
+    jobs = resolve_jobs(jobs)
     default_runner = runner is None
     runner = runner or BenchmarkRunner()
-    results = ResultSet()
-    for dataset in datasets:
-        spec = get_spec(dataset)
-        array = load(dataset, target_elements, seed)
-        for method in methods:
-            measurement = runner.run_cell(method, array, spec)
-            results.add(measurement)
-            if progress:
-                status = (
-                    f"CR={measurement.compression_ratio:.3f}"
-                    if measurement.ok
-                    else f"skip ({measurement.error})"
-                )
-                print(f"  {dataset:16s} {method:16s} {status}", flush=True)
-    if use_cache and default_runner:
-        results.to_json(cache_path)
-    return results
+    # Custom runners measure under non-default policies; never let those
+    # results shadow (or be shadowed by) the standard cache entries.
+    cache = CellCache(runner=runner) if use_cache and default_runner else None
+
+    def emit(task: CellTask, measurement: Measurement, elapsed: float,
+             cached: bool = False) -> None:
+        if progress:
+            status = (
+                f"CR={measurement.compression_ratio:.3f}"
+                if measurement.ok
+                else f"skip ({measurement.error})"
+            )
+            suffix = " (cached)" if cached else ""
+            print(f"  {task.dataset:16s} {task.method:16s} {status}{suffix}",
+                  flush=True)
+        if on_cell is not None:
+            on_cell(task, measurement, elapsed)
+
+    start = time.perf_counter()
+    tasks = [
+        CellTask(method, dataset, target_elements, seed)
+        for dataset in datasets
+        for method in methods
+    ]
+    slots: list[Measurement | None] = [None] * len(tasks)
+    pending: list[tuple[int, CellTask]] = []
+    for index, task in enumerate(tasks):
+        hit = cache.get(task) if cache is not None else None
+        if hit is not None:
+            slots[index] = hit
+            emit(task, hit, 0.0, cached=True)
+        else:
+            pending.append((index, task))
+
+    if pending:
+        executed = execute_cells(
+            [task for _, task in pending],
+            runner=runner,
+            jobs=jobs,
+            on_result=emit,
+        )
+        for (index, task), measurement in zip(pending, executed):
+            slots[index] = measurement
+            # Never persist transient (crash-synthesized) failures: a
+            # cached MemoryError would replay forever.  Deterministic
+            # policy failures (skips, roundtrip mismatches) do cache.
+            if cache is not None and not measurement.transient:
+                cache.put(task, measurement)
+
+    results = ResultSet([m for m in slots if m is not None])
+    elapsed = time.perf_counter() - start
+    stats = cache.stats if cache is not None else CacheStats()
+    if cache is not None:
+        write_last_run(
+            stats,
+            root=cache.root,
+            cells=len(tasks),
+            methods=len(methods),
+            datasets=len(datasets),
+            jobs=jobs,
+            elapsed_seconds=round(elapsed, 3),
+        )
+    return SuiteRun(
+        results=results, cache_stats=stats, elapsed_seconds=elapsed, jobs=jobs
+    )

@@ -1,0 +1,170 @@
+"""Tests for the per-cell incremental cache (repro.core.cache)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import cache as cc
+from repro.core.runner import BenchmarkRunner
+from repro.core.suite import run_suite_detailed
+
+_KW = dict(
+    methods=["gorilla", "chimp"],
+    datasets=["citytemp", "gas-price"],
+    target_elements=512,
+)
+
+
+def test_hit_miss_accounting(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    cold = run_suite_detailed(**_KW)
+    assert (cold.cache_stats.hits, cold.cache_stats.misses) == (0, 4)
+    assert cold.cache_stats.stores == 4
+    warm = run_suite_detailed(**_KW)
+    assert (warm.cache_stats.hits, warm.cache_stats.misses) == (4, 0)
+    assert warm.cache_stats.hit_rate == 1.0
+
+
+def test_editing_one_compressor_reruns_only_its_column(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    run_suite_detailed(**_KW)
+
+    real = cc.method_fingerprint
+
+    def touched(name: str) -> str:
+        return "deadbeefdeadbeef" if name == "gorilla" else real(name)
+
+    # Simulate an edit to gorilla.py: its source fingerprint changes.
+    monkeypatch.setattr(cc, "method_fingerprint", touched)
+    rerun = run_suite_detailed(**_KW)
+    # Chimp's two cells hit; only gorilla's column re-executed.
+    assert (rerun.cache_stats.hits, rerun.cache_stats.misses) == (2, 2)
+
+
+def test_transient_failures_are_never_cached(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    from repro.core import suite as suite_mod
+    from repro.core.results import Measurement
+
+    def crash_all(tasks, runner=None, jobs=None, on_result=None):
+        return [
+            Measurement(
+                method=t.method,
+                dataset=t.dataset,
+                domain="?",
+                precision="?",
+                ok=False,
+                error="MemoryError: injected",
+                transient=True,
+            )
+            for t in tasks
+        ]
+
+    monkeypatch.setattr(suite_mod, "execute_cells", crash_all)
+    run = run_suite_detailed(methods=["gorilla"], datasets=["citytemp"],
+                             target_elements=512)
+    assert not run.results.measurements[0].ok
+    # The crash-synthesized failure must not be persisted...
+    assert run.cache_stats.stores == 0
+    assert not list(tmp_path.glob("cells/*/*.json"))
+    # ...so a healthy rerun is a miss that re-executes and caches.
+    monkeypatch.undo()
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    healthy = run_suite_detailed(methods=["gorilla"], datasets=["citytemp"],
+                                 target_elements=512)
+    assert healthy.cache_stats.misses == 1
+    assert healthy.results.measurements[0].ok
+
+
+def test_runner_fingerprint_distinguishes_policies():
+    base = cc.runner_fingerprint(BenchmarkRunner())
+    assert cc.runner_fingerprint(BenchmarkRunner(verify=False)) != base
+    assert cc.runner_fingerprint(BenchmarkRunner(paper_limits=False)) != base
+    # Stable for equivalent configurations.
+    assert cc.runner_fingerprint(BenchmarkRunner()) == base
+
+
+def test_custom_runner_does_not_touch_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    run = run_suite_detailed(runner=BenchmarkRunner(verify=False), **_KW)
+    assert run.cache_stats.lookups == 0
+    assert not list(tmp_path.glob("cells/*/*.json"))
+
+
+def _write_stale_cell(root, version="v0"):
+    path = root / "cells" / "gorilla" / "citytemp_0000000000.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "cache_version": version,
+        "method": "gorilla",
+        "dataset": "citytemp",
+        "target_elements": 512,
+        "seed": 0,
+        "method_fingerprint": "0" * 16,
+        "runner_fingerprint": "0" * 16,
+        "measurement": {},
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_scan_classifies_stale_and_legacy(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    run_suite_detailed(methods=["chimp"], datasets=["citytemp"], target_elements=512)
+    stale = _write_stale_cell(tmp_path)
+    legacy = tmp_path / "suite_deadbeef.json"
+    legacy.write_text("[]")
+    scan = cc.scan_cache()
+    assert len(scan.entries) == 2
+    assert [e.path for e in scan.stale_entries] == [stale]
+    assert scan.legacy_blobs == [legacy]
+    assert scan.per_method() == {"chimp": 1, "gorilla": 1}
+
+
+def test_clear_stale_keeps_current_entries(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    run_suite_detailed(methods=["chimp"], datasets=["citytemp"], target_elements=512)
+    _write_stale_cell(tmp_path)
+    (tmp_path / "suite_deadbeef.json").write_text("[]")
+    counts = cc.clear_cache(stale_only=True)
+    assert counts == {"removed_cells": 1, "removed_legacy": 1, "kept": 1}
+    # The fresh cell survived and still serves hits.
+    warm = run_suite_detailed(
+        methods=["chimp"], datasets=["citytemp"], target_elements=512
+    )
+    assert (warm.cache_stats.hits, warm.cache_stats.misses) == (1, 0)
+
+
+def test_clear_all_removes_everything(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    run_suite_detailed(methods=["chimp"], datasets=["citytemp"], target_elements=512)
+    assert cc.read_last_run() is not None
+    counts = cc.clear_cache(stale_only=False)
+    assert counts["removed_cells"] == 1
+    assert not list(tmp_path.glob("cells/*/*.json"))
+    assert cc.read_last_run() is None
+
+
+def test_corrupt_cell_file_is_a_miss_and_stale(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    run_suite_detailed(methods=["gorilla"], datasets=["citytemp"], target_elements=512)
+    [cell] = list(tmp_path.glob("cells/gorilla/*.json"))
+    cell.write_text("{not json")
+    assert [e.stale for e in cc.scan_cache().entries] == [True]
+    rerun = run_suite_detailed(
+        methods=["gorilla"], datasets=["citytemp"], target_elements=512
+    )
+    assert (rerun.cache_stats.hits, rerun.cache_stats.misses) == (0, 1)
+    # The miss re-executed and overwrote the corrupt file with a good one.
+    assert [e.stale for e in cc.scan_cache().entries] == [False]
+
+
+def test_last_run_counters_persisted(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    run_suite_detailed(**_KW)
+    last = cc.read_last_run()
+    assert last is not None
+    assert last["misses"] == 4 and last["cells"] == 4
+    run_suite_detailed(**_KW)
+    last = cc.read_last_run()
+    assert last["hits"] == 4 and last["misses"] == 0

@@ -1,0 +1,172 @@
+"""Tests for the fcbench command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+def test_list_methods_and_datasets(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "bitshuffle-zstd" in out
+    assert "citytemp" in out
+    assert "HPC" in out
+
+
+def test_list_methods_only(capsys):
+    assert main(["list", "--methods"]) == 0
+    out = capsys.readouterr().out
+    assert "gorilla" in out
+    assert "citytemp" not in out
+
+
+def test_run_streams_cells_and_summarizes(capsys):
+    rc = main(
+        [
+            "run",
+            "--methods", "gorilla,chimp",
+            "--datasets", "citytemp",
+            "--target-elements", "512",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "[   1/2]" in out and "[   2/2]" in out
+    assert "ok=2 failed=0" in out
+    assert "0 hits / 2 misses" in out
+
+
+def test_run_quiet_emits_summary_only(capsys):
+    rc = main(
+        [
+            "run", "--quiet",
+            "--methods", "gorilla",
+            "--datasets", "citytemp",
+            "--target-elements", "512",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert out.count("\n") == 1
+    assert out.startswith("ran 1 cells")
+
+
+def test_run_reports_cache_hits_on_second_invocation(capsys):
+    args = [
+        "run", "--quiet",
+        "--methods", "gorilla",
+        "--datasets", "citytemp",
+        "--target-elements", "512",
+    ]
+    main(args)
+    capsys.readouterr()
+    main(args)
+    assert "cache: 1 hits / 0 misses" in capsys.readouterr().out
+
+
+def test_run_rejects_unknown_method(capsys):
+    rc = main(["run", "--methods", "zipzap"])
+    assert rc == 2
+    assert "unknown methods: zipzap" in capsys.readouterr().err
+
+
+def test_run_rejects_unknown_dataset(capsys):
+    rc = main(["run", "--datasets", "nope"])
+    assert rc == 2
+    assert "unknown datasets: nope" in capsys.readouterr().err
+
+
+def test_cache_inspect_and_clear(tmp_path, capsys):
+    main(
+        [
+            "run", "--quiet",
+            "--methods", "gorilla,chimp",
+            "--datasets", "citytemp",
+            "--target-elements", "512",
+        ]
+    )
+    (tmp_path / "suite_oldformat.json").write_text("[]")
+    capsys.readouterr()
+
+    assert main(["cache"]) == 0
+    out = capsys.readouterr().out
+    assert "cells: 2 (0 stale" in out
+    assert "legacy suite blobs: 1" in out
+    assert "last run: 0 hits / 2 misses" in out
+
+    assert main(["cache", "clear", "--stale"]) == 0
+    out = capsys.readouterr().out
+    assert "0 cell(s), 1 legacy blob(s), 2 kept" in out
+    assert not list(tmp_path.glob("suite_*.json"))
+    assert len(list(tmp_path.glob("cells/*/*.json"))) == 2
+
+    assert main(["cache", "clear"]) == 0
+    assert not list(tmp_path.glob("cells/*/*.json"))
+
+
+def test_report_table4(capsys):
+    rc = main(
+        [
+            "report", "table4",
+            "--methods", "gorilla,chimp",
+            "--datasets", "citytemp,gas-price",
+            "--target-elements", "512",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Table 4" in out
+    assert "Gorilla" in out and "Chimp" in out
+
+
+def test_report_arbitrary_metric(capsys):
+    rc = main(
+        [
+            "report",
+            "--metric", "compressed_bytes",
+            "--methods", "gorilla",
+            "--datasets", "citytemp",
+            "--target-elements", "512",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "metric: compressed_bytes" in out
+    assert "citytemp" in out
+
+
+def test_report_unknown_metric(capsys):
+    rc = main(
+        [
+            "report",
+            "--metric", "nonsense",
+            "--methods", "gorilla",
+            "--datasets", "citytemp",
+            "--target-elements", "512",
+        ]
+    )
+    assert rc == 2
+    assert "unknown metric" in capsys.readouterr().err
+
+
+def test_parallel_run_matches_serial_fingerprint(capsys):
+    args = [
+        "run", "--quiet", "--no-cache",
+        "--methods", "gorilla,chimp",
+        "--datasets", "citytemp,gas-price",
+        "--target-elements", "512",
+    ]
+    assert main(args + ["--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(args + ["--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    fp = lambda text: text.rsplit("fingerprint=", 1)[1].split()[0]
+    assert fp(serial) == fp(parallel)

@@ -1,0 +1,131 @@
+"""Tests for the parallel execution engine (repro.core.executor)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import CellTask, execute_cells, resolve_jobs
+from repro.core.results import ResultSet
+from repro.core.runner import BenchmarkRunner
+from repro.core.suite import run_suite
+
+_TASKS = [
+    CellTask(method, dataset, target_elements=512)
+    for dataset in ("citytemp", "gas-price")
+    for method in ("gorilla", "chimp")
+]
+
+
+class ExplodingRunner(BenchmarkRunner):
+    """Raises a non-Repro exception on one designated cell.
+
+    Defined at module scope so it pickles into pool workers.
+    """
+
+    def __init__(self, fail_method: str, fail_dataset: str) -> None:
+        super().__init__()
+        self.fail_method = fail_method
+        self.fail_dataset = fail_dataset
+
+    def run_cell(self, method, array, spec):
+        if method == self.fail_method and spec.name == self.fail_dataset:
+            raise RuntimeError("injected worker failure")
+        return super().run_cell(method, array, spec)
+
+
+# ----------------------------------------------------------------------
+# Worker-count resolution
+# ----------------------------------------------------------------------
+def test_resolve_jobs_defaults_to_serial(monkeypatch):
+    monkeypatch.delenv("FCBENCH_JOBS", raising=False)
+    assert resolve_jobs() == 1
+
+
+def test_resolve_jobs_env_override(monkeypatch):
+    monkeypatch.setenv("FCBENCH_JOBS", "4")
+    assert resolve_jobs() == 4
+    # Explicit argument beats the environment.
+    assert resolve_jobs(2) == 2
+
+
+def test_resolve_jobs_clamps_and_tolerates_garbage(monkeypatch):
+    assert resolve_jobs(0) == 1
+    assert resolve_jobs(-3) == 1
+    monkeypatch.setenv("FCBENCH_JOBS", "not-a-number")
+    assert resolve_jobs() == 1
+
+
+# ----------------------------------------------------------------------
+# Serial vs parallel equivalence
+# ----------------------------------------------------------------------
+def test_serial_and_parallel_results_identical():
+    serial = ResultSet(execute_cells(_TASKS, jobs=1))
+    parallel = ResultSet(execute_cells(_TASKS, jobs=2))
+    assert len(serial) == len(parallel) == len(_TASKS)
+    # Task order is preserved regardless of completion order...
+    assert [(m.dataset, m.method) for m in serial.measurements] == [
+        (t.dataset, t.method) for t in _TASKS
+    ]
+    assert [(m.dataset, m.method) for m in parallel.measurements] == [
+        (t.dataset, t.method) for t in _TASKS
+    ]
+    # ...and every deterministic field matches bit-for-bit.
+    assert serial.canonical() == parallel.canonical()
+    assert serial.fingerprint() == parallel.fingerprint()
+
+
+def test_run_suite_parallel_matches_serial(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    kwargs = dict(
+        methods=["gorilla", "chimp"],
+        datasets=["citytemp", "gas-price"],
+        target_elements=512,
+        use_cache=False,
+    )
+    serial = run_suite(jobs=1, **kwargs)
+    parallel = run_suite(jobs=2, **kwargs)
+    assert serial.fingerprint() == parallel.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Progress callbacks
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_on_result_fires_per_cell(jobs):
+    seen: list[tuple[str, str]] = []
+
+    def on_result(task, measurement, elapsed):
+        assert measurement.ok
+        assert elapsed >= 0.0
+        seen.append((task.dataset, task.method))
+
+    execute_cells(_TASKS, jobs=jobs, on_result=on_result)
+    assert sorted(seen) == sorted((t.dataset, t.method) for t in _TASKS)
+
+
+# ----------------------------------------------------------------------
+# Fault isolation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_one_failing_cell_does_not_kill_the_suite(jobs):
+    runner = ExplodingRunner("chimp", "citytemp")
+    results = ResultSet(execute_cells(_TASKS, runner=runner, jobs=jobs))
+    assert len(results) == len(_TASKS)
+    failed = results.cell("chimp", "citytemp")
+    assert failed is not None and not failed.ok
+    assert "RuntimeError" in failed.error
+    assert "injected worker failure" in failed.error
+    others = [m for m in results.measurements if m is not failed]
+    assert len(others) == 3 and all(m.ok for m in others)
+
+
+def test_unknown_dataset_becomes_failed_measurement():
+    [m] = execute_cells([CellTask("gorilla", "no-such-dataset")], jobs=1)
+    assert not m.ok
+    assert "DatasetError" in m.error
+
+
+def test_unknown_method_becomes_failed_measurement():
+    [m] = execute_cells([CellTask("no-such-method", "citytemp", 512)], jobs=1)
+    assert not m.ok
+    assert "KeyError" in m.error

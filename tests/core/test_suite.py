@@ -1,6 +1,11 @@
-"""Tests for suite orchestration and caching."""
+"""Tests for suite orchestration and the per-cell incremental cache."""
 
-from repro.core.suite import default_datasets, default_methods, run_suite
+from repro.core.suite import (
+    default_datasets,
+    default_methods,
+    run_suite,
+    run_suite_detailed,
+)
 
 
 def test_default_methods_are_table_order():
@@ -23,20 +28,65 @@ def test_mini_suite_and_cache(tmp_path, monkeypatch):
     )
     assert len(results) == 4
     assert all(m.ok for m in results.measurements)
-    # Second call must come from the cache (same content).
-    cached = run_suite(
+    # One JSON file per cell, grouped by method.
+    assert len(list(tmp_path.glob("cells/*/*.json"))) == 4
+    assert len(list(tmp_path.glob("cells/chimp/*.json"))) == 2
+    # Second call must be served entirely from the cache, bit-identical.
+    rerun = run_suite_detailed(
         methods=["chimp", "gorilla"],
         datasets=["citytemp", "gas-price"],
         target_elements=1024,
     )
-    assert [m.compression_ratio for m in cached.measurements] == [
+    assert (rerun.cache_stats.hits, rerun.cache_stats.misses) == (4, 0)
+    assert [m.compression_ratio for m in rerun.results.measurements] == [
         m.compression_ratio for m in results.measurements
     ]
-    assert len(list(tmp_path.glob("suite_*.json"))) == 1
+    assert rerun.results.fingerprint() == results.fingerprint()
 
 
 def test_cache_key_depends_on_scale(tmp_path, monkeypatch):
     monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
     run_suite(methods=["gorilla"], datasets=["citytemp"], target_elements=512)
     run_suite(methods=["gorilla"], datasets=["citytemp"], target_elements=1024)
-    assert len(list(tmp_path.glob("suite_*.json"))) == 2
+    assert len(list(tmp_path.glob("cells/gorilla/*.json"))) == 2
+
+
+def test_cache_key_depends_on_seed(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    run_suite(methods=["gorilla"], datasets=["citytemp"], target_elements=512)
+    run_suite(methods=["gorilla"], datasets=["citytemp"], target_elements=512, seed=7)
+    assert len(list(tmp_path.glob("cells/gorilla/*.json"))) == 2
+
+
+def test_results_keep_dataset_major_order(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    results = run_suite(
+        methods=["chimp", "gorilla"],
+        datasets=["citytemp", "gas-price"],
+        target_elements=512,
+    )
+    assert [(m.dataset, m.method) for m in results.measurements] == [
+        ("citytemp", "chimp"),
+        ("citytemp", "gorilla"),
+        ("gas-price", "chimp"),
+        ("gas-price", "gorilla"),
+    ]
+
+
+def test_on_cell_reports_cached_and_fresh(tmp_path, monkeypatch):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    seen: list[tuple[str, str]] = []
+    run_suite(
+        methods=["gorilla"],
+        datasets=["citytemp"],
+        target_elements=512,
+        on_cell=lambda task, m, elapsed: seen.append((task.method, task.dataset)),
+    )
+    run_suite(
+        methods=["gorilla"],
+        datasets=["citytemp"],
+        target_elements=512,
+        on_cell=lambda task, m, elapsed: seen.append((task.method, task.dataset)),
+    )
+    # The callback fires for the executed cell and again for the cache hit.
+    assert seen == [("gorilla", "citytemp")] * 2

@@ -1,0 +1,35 @@
+"""Smoke path: the exact CLI invocation documented in the README.
+
+Marked ``smoke`` so CI can select it with ``-m smoke``; it also runs in
+the default tier-1 sweep.  Exercises the full stack end to end: CLI
+parsing -> suite orchestration -> process-pool executor -> per-cell
+cache -> summary/cache reporting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.smoke
+def test_fcbench_run_smoke(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(tmp_path))
+    args = [
+        "run",
+        "--methods", "gorilla,chimp",
+        "--datasets", "msg-bt",
+        "--jobs", "2",
+        "--target-elements", "2048",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "ok=2 failed=0" in out
+    assert "(jobs=2)" in out
+    # Both cells were cached; a re-run is pure hits.
+    assert main(args) == 0
+    assert "cache: 2 hits / 0 misses" in capsys.readouterr().out
+    # The cache subcommand exposes the same counters.
+    assert main(["cache"]) == 0
+    assert "last run: 2 hits / 0 misses" in capsys.readouterr().out
