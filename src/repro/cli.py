@@ -11,6 +11,10 @@ Subcommands:
   delete entries (``clear``, with ``--stale`` to drop only entries
   whose cache version or method fingerprint is out of date, plus
   legacy monolithic ``suite_*.json`` blobs).
+* ``fcbench bench``  — measure *real* encode/decode throughput per
+  (method, dataset) cell (plus the scalar-oracle baselines where a
+  codec retains one), write ``BENCH_<git-sha>.json`` at the repo root,
+  and diff against the previous snapshot.
 * ``fcbench list``   — enumerate the registered methods and datasets.
 
 Usage — run a single cell, then clear the cache it left behind:
@@ -211,6 +215,57 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# fcbench bench
+# ----------------------------------------------------------------------
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.perf import bench
+
+    methods = _validate(
+        "methods", _csv(args.methods), compressor_names()
+    ) or list(bench.DEFAULT_METHODS)
+    datasets = _validate(
+        "datasets", _csv(args.datasets), default_datasets()
+    ) or list(bench.DEFAULT_DATASETS)
+
+    def on_cell(cell: dict) -> None:
+        if args.quiet:
+            return
+        speedup = cell.get("encode_speedup_vs_scalar")
+        extra = f"  {speedup:5.1f}x vs scalar" if speedup else ""
+        print(
+            f"{cell['dataset']:<14} {cell['method']:<10} "
+            f"enc {cell['compress_mbs']:8.1f} MB/s  "
+            f"dec {cell['decompress_mbs']:8.1f} MB/s{extra}",
+            flush=True,
+        )
+
+    report = bench.run_bench(
+        methods=methods,
+        datasets=datasets,
+        elements=args.elements,
+        repeats=args.repeats,
+        oracle=not args.no_oracle,
+        guard=not args.no_guard,
+        seed=args.seed,
+        on_cell=on_cell,
+    )
+    root = Path(args.output).parent if args.output else bench.repo_root()
+    if args.output:
+        path = Path(args.output)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    else:
+        path = bench.write_report(report)
+    print(f"wrote {path}")
+    previous = bench.latest_snapshot(root, exclude=path)
+    if previous is not None:
+        print(bench.diff_reports(json.loads(previous.read_text()), report))
+    return 0
+
+
+# ----------------------------------------------------------------------
 # fcbench list
 # ----------------------------------------------------------------------
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -278,7 +333,8 @@ def _add_matrix_args(parser: argparse.ArgumentParser) -> None:
         "--jobs",
         type=int,
         default=None,
-        help="worker processes (default: FCBENCH_JOBS env or 1 = serial)",
+        help="worker processes; 0 auto-detects os.cpu_count() "
+        "(default: FCBENCH_JOBS env or 1 = serial)",
     )
 
 
@@ -329,6 +385,51 @@ def build_parser() -> argparse.ArgumentParser:
         "and legacy suite blobs",
     )
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure real encode/decode throughput, write BENCH_<sha>.json",
+    )
+    p_bench.add_argument(
+        "--methods",
+        help="comma-separated method names "
+        "(default: the vectorized hot-path codecs)",
+    )
+    p_bench.add_argument(
+        "--datasets",
+        help="comma-separated dataset names (default: tpcH-order,"
+        "num-brain,msg-bt)",
+    )
+    p_bench.add_argument(
+        "--elements",
+        type=int,
+        default=1_000_000,
+        help="elements per cell (default %(default)s)",
+    )
+    p_bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repetitions, best run wins (default %(default)s)",
+    )
+    p_bench.add_argument("--seed", type=int, default=0, help="data seed")
+    p_bench.add_argument(
+        "--no-oracle",
+        action="store_true",
+        help="skip timing the scalar-oracle baselines",
+    )
+    p_bench.add_argument(
+        "--no-guard",
+        action="store_true",
+        help="skip the small regression-guard cells",
+    )
+    p_bench.add_argument(
+        "--output", help="write the snapshot to this path instead"
+    )
+    p_bench.add_argument(
+        "--quiet", action="store_true", help="no per-cell status lines"
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_list = sub.add_parser("list", help="enumerate methods and datasets")
     p_list.add_argument("--methods", action="store_true", help="methods only")

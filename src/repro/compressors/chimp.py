@@ -19,6 +19,17 @@ Control cases (2 bits):
   leading-zero count; store ``width - lead`` bits.
 * ``11`` — XOR against the previous value with a fresh 3-bit
   leading-zero bucket; store ``width - lead`` bits.
+
+The hot paths run in plan-then-pack form.  The window search
+vectorizes exactly because Chimp's low-bits map is last-writer-wins:
+the candidate reference for position ``p`` is simply the previous
+occurrence of ``p``'s key, which one stable argsort yields for every
+position at once.  The only serial-looking state — the leading-zero
+bucket reused by case ``10`` — collapses because after *any*
+previous-value record the live bucket equals that record's own (forced)
+bucket, so the recurrence is a shifted comparison, not a scan.
+``_compress_scalar`` / ``_decompress_scalar`` keep the original
+per-element implementation as the byte-identity oracle.
 """
 
 from __future__ import annotations
@@ -26,8 +37,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compressors.base import Compressor, MethodInfo, register
-from repro.compressors.util import float_bits
+from repro.compressors.util import (
+    float_bits,
+    lead_nonzero,
+    pack_record_fields,
+    significant_bits,
+    trail_nonzero,
+)
 from repro.encodings.bitio import BitReader, BitWriter
+from repro.encodings.vectorbit import pack_fields, unpack_fields
 from repro.errors import CorruptStreamError
 from repro.perf.cost import CostModel, KernelSpec, ParallelismSpec
 
@@ -35,6 +53,7 @@ __all__ = ["ChimpCompressor"]
 
 _WINDOW = 128
 _INDEX_BITS = 7
+_U64 = np.uint64
 
 # Leading-zero bucket tables (round down to the nearest representable
 # count), mirroring Chimp's 8-entry lookup.
@@ -89,6 +108,257 @@ class ChimpCompressor(Compressor):
     )
 
     def _compress(self, array: np.ndarray) -> bytes:
+        bits = float_bits(array.ravel())
+        width = bits.dtype.itemsize * 8
+        n = bits.size
+        if n == 0:
+            return b""
+        first = _U64(bits[0])
+        if n == 1:
+            return pack_fields([first], [width], assume_masked=True)
+        lead_table = _LEAD_TABLE[width]
+        table_arr = np.asarray(lead_table, dtype=np.int64)
+        threshold = _THRESHOLD[width]
+        key_mask = (1 << _KEY_BITS[width]) - 1
+        len_bits = 6 if width == 64 else 5
+
+        # The low-bits map is last-writer-wins, so the lookup candidate
+        # at position p is the previous occurrence of p's key.
+        keys = (bits & bits.dtype.type(key_mask)).astype(np.uint16)
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        same = sorted_keys[1:] == sorted_keys[:-1]
+        prev_occ = np.full(n, -1, dtype=np.int64)
+        prev_occ[order[1:][same]] = order[:-1][same]
+
+        # Records are positions 1..n-1 (all arrays stay at native width
+        # so the bit-count fast paths see the true word size).
+        cand = prev_occ[1:]
+        first_abs = np.arange(1 - _WINDOW, n - _WINDOW, dtype=np.int64)
+        np.maximum(first_abs, 0, out=first_abs)
+        use_win = cand >= first_abs
+        xr = bits[1:] ^ bits[np.maximum(cand, 0)]
+        case00 = use_win & (xr == 0)
+        win_nz = use_win & ~case00
+        wpos = np.flatnonzero(win_nz)
+        case01 = np.zeros(n - 1, dtype=bool)
+        lead01 = trail01 = None
+        # Bucket lookup as a dense table over all possible lead counts.
+        bucket_of = np.searchsorted(
+            table_arr, np.arange(width + 1), side="right"
+        ) - 1
+        if wpos.size:
+            # Trailing zeros gate case 01; leading zeros are only needed
+            # for the (usually few) residuals that pass the gate.
+            wt = trail_nonzero(xr[wpos])
+            prefer = wt > threshold
+            wpos = wpos[prefer]
+            case01[wpos] = True
+            trail01 = wt[prefer]
+            lead01 = lead_nonzero(xr[wpos]) if wpos.size else wt[:0]
+
+        # Previous-value records are whatever the window did not claim;
+        # their XORs and lead buckets are computed on that subset only.
+        prev_mask = ~(case00 | case01)
+        ppos = np.flatnonzero(prev_mask)
+        xp_s = bits[ppos + 1] ^ bits[ppos]
+        zero_s = xp_s == 0
+        lead_s = width - significant_bits(xp_s).astype(np.int64)
+        lp_s = bucket_of[lead_s]
+        forced = np.where(zero_s, len(lead_table) - 1, lp_s)
+        live = np.empty(forced.size, dtype=np.int64)
+        if forced.size:
+            live[0] = 0  # initial prev_lead_code
+            live[1:] = forced[:-1]
+        case10_s = ~zero_s & (lp_s == live)
+
+        # Assembly: previous-value records are the default, window
+        # records are scattered over them.
+        hv = np.where(
+            case10_s,
+            _U64(0b10),
+            (_U64(0b11) << _U64(3)) | forced.view(_U64),
+        )
+        hw_s = np.where(case10_s, 2, 5)
+        pw_s = width - table_arr[np.where(case10_s, lp_s, forced)]
+        hdr_v = np.empty(n - 1, dtype=_U64)
+        hdr_w = np.empty(n - 1, dtype=np.int64)
+        pay_v = np.empty(n - 1, dtype=_U64)
+        pay_w = np.empty(n - 1, dtype=np.int64)
+        hdr_v[ppos] = hv
+        hdr_w[ppos] = hw_s
+        pay_v[ppos] = xp_s
+        pay_w[ppos] = pw_s
+        zpos = np.flatnonzero(case00)
+        if zpos.size:
+            rel = cand[zpos] - first_abs[zpos]
+            hdr_v[zpos] = rel.view(_U64)  # control 00 + 7-bit index
+            hdr_w[zpos] = 2 + _INDEX_BITS
+            pay_v[zpos] = 0
+            pay_w[zpos] = 0
+        if wpos.size:
+            rel = cand[wpos] - first_abs[wpos]
+            code01 = bucket_of[lead01]
+            lead_round = table_arr[code01]
+            center = width - lead_round - trail01
+            hdr_v[wpos] = (
+                ((((_U64(0b01) << _U64(_INDEX_BITS)) | rel.view(_U64))
+                  << _U64(3) | code01.view(_U64)) << _U64(len_bits))
+                | (center - 1).view(_U64)
+            )
+            hdr_w[wpos] = 2 + _INDEX_BITS + 3 + len_bits
+            pay_v[wpos] = xr[wpos].astype(_U64) >> trail01.view(_U64)
+            pay_w[wpos] = center
+
+        return pack_record_fields(first, width, hdr_v, hdr_w, pay_v, pay_w)
+
+    def _decompress(
+        self, payload: bytes, shape: tuple[int, ...], dtype: np.dtype
+    ) -> np.ndarray:
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        uint_dtype = np.uint64 if dtype == np.float64 else np.uint32
+        width = np.dtype(uint_dtype).itemsize * 8
+        if count == 0:
+            return np.empty(0, dtype=uint_dtype).view(dtype)
+        lead_table = _LEAD_TABLE[width]
+        len_bits = 6 if width == 64 else 5
+        data = bytes(payload)
+        nbits = len(data) * 8
+        if width > nbits:
+            raise CorruptStreamError("chimp stream shorter than one value")
+        first = int.from_bytes(data[: width >> 3], "big")
+
+        # Plan scan: controls and side fields only; payloads batched after.
+        offs: list[int] = []
+        widths: list[int] = []
+        shifts: list[int] = []
+        refs: list[int] = []  # absolute window reference, or -1 for "previous"
+        add_o = offs.append
+        add_w = widths.append
+        add_s = shifts.append
+        add_r = refs.append
+        frm = int.from_bytes
+        side_bits = _INDEX_BITS + 3 + len_bits
+        len_mask = (1 << len_bits) - 1
+        prev_width = width - lead_table[0]
+        pos = width
+        try:
+            for p in range(1, count):
+                end = pos + 2
+                stop = (end + 7) >> 3
+                control = (
+                    frm(data[pos >> 3 : stop], "big") >> (stop * 8 - end)
+                ) & 0b11
+                pos = end
+                if control == 0b10:
+                    add_r(-1)
+                    add_o(pos)
+                    add_w(prev_width)
+                    add_s(0)
+                    pos += prev_width
+                elif control == 0b11:
+                    end = pos + 3
+                    stop = (end + 7) >> 3
+                    code = (
+                        frm(data[pos >> 3 : stop], "big") >> (stop * 8 - end)
+                    ) & 0b111
+                    pos = end
+                    prev_width = width - lead_table[code]
+                    add_r(-1)
+                    add_o(pos)
+                    add_w(prev_width)
+                    add_s(0)
+                    pos += prev_width
+                elif control == 0b00:
+                    end = pos + _INDEX_BITS
+                    stop = (end + 7) >> 3
+                    rel = (
+                        frm(data[pos >> 3 : stop], "big") >> (stop * 8 - end)
+                    ) & 0x7F
+                    pos = end
+                    if rel >= (p if p < _WINDOW else _WINDOW):
+                        raise CorruptStreamError(
+                            "chimp window reference outside retained values"
+                        )
+                    add_r((p - _WINDOW if p > _WINDOW else 0) + rel)
+                    add_o(0)
+                    add_w(0)
+                    add_s(0)
+                else:
+                    end = pos + side_bits
+                    if end > nbits:
+                        raise CorruptStreamError("chimp header truncated")
+                    stop = (end + 7) >> 3
+                    side = (
+                        frm(data[pos >> 3 : stop], "big") >> (stop * 8 - end)
+                    ) & ((1 << side_bits) - 1)
+                    pos = end
+                    rel = side >> (3 + len_bits)
+                    lead = lead_table[(side >> len_bits) & 0b111]
+                    center = (side & len_mask) + 1
+                    trailing = width - lead - center
+                    if rel >= (p if p < _WINDOW else _WINDOW) or trailing < 0:
+                        raise CorruptStreamError(
+                            "chimp stream carries an invalid window reference"
+                        )
+                    add_r((p - _WINDOW if p > _WINDOW else 0) + rel)
+                    add_o(pos)
+                    add_w(center)
+                    add_s(trailing)
+                    pos += center
+        except IndexError:
+            raise CorruptStreamError("chimp control stream exhausted")
+        if pos > nbits:
+            raise CorruptStreamError("chimp payload truncated")
+
+        vals = unpack_fields(
+            data,
+            np.asarray(widths, dtype=np.int64),
+            np.asarray(offs, dtype=np.int64),
+        )
+        xors = vals << np.asarray(shifts, dtype=_U64)
+        ref_arr = np.asarray(refs, dtype=np.int64)
+        anchors = np.flatnonzero(ref_arr >= 0) + 1  # window-referenced values
+        out = np.empty(count, dtype=_U64)
+        out[0] = first
+        if anchors.size * 4 > count:
+            # Dense window references: one light pass beats per-run slices.
+            out_list = [0] * count
+            out_list[0] = first
+            xor_list = xors.tolist()
+            for p in range(1, count):
+                ref = refs[p - 1]
+                base = out_list[ref] if ref >= 0 else out_list[p - 1]
+                out_list[p] = base ^ xor_list[p - 1]
+            out = np.asarray(out_list, dtype=_U64)
+        else:
+            # Sparse window references: XOR-scan the previous-value runs
+            # in bulk between anchor values.
+            scan = np.empty(count, dtype=_U64)
+            scan[0] = 0
+            scan[1:] = xors
+            if anchors.size:
+                scan[anchors] = 0
+            prefix = np.bitwise_xor.accumulate(scan)
+            prev = 0
+            for a in anchors.tolist():
+                if a > prev + 1:
+                    out[prev + 1 : a] = (
+                        out[prev] ^ prefix[prev] ^ prefix[prev + 1 : a]
+                    )
+                out[a] = out[refs[a - 1]] ^ xors[a - 1]
+                prev = a
+            if prev + 1 < count:
+                out[prev + 1 :] = (
+                    out[prev] ^ prefix[prev] ^ prefix[prev + 1 :]
+                )
+        return out.astype(uint_dtype, copy=False).view(dtype)
+
+    # ------------------------------------------------------------------
+    # Scalar oracle (the original per-element implementation)
+    # ------------------------------------------------------------------
+    def _compress_scalar(self, array: np.ndarray) -> bytes:
+        """Reference coder; the vectorized path must match it bit-exactly."""
         bits = float_bits(array.ravel())
         width = bits.dtype.itemsize * 8
         lead_table = _LEAD_TABLE[width]
@@ -161,9 +431,10 @@ class ChimpCompressor(Compressor):
             del window[0]
         index_of_key[value & key_mask] = position
 
-    def _decompress(
+    def _decompress_scalar(
         self, payload: bytes, shape: tuple[int, ...], dtype: np.dtype
     ) -> np.ndarray:
+        """Reference decoder matching :meth:`_compress_scalar`."""
         count = int(np.prod(shape, dtype=np.int64)) if shape else 1
         uint_dtype = np.uint64 if dtype == np.float64 else np.uint32
         width = np.dtype(uint_dtype).itemsize * 8

@@ -28,6 +28,7 @@ from repro.compressors.util import (
     significant_bits,
 )
 from repro.encodings.bitio import BitReader, BitWriter
+from repro.encodings.vectorbit import pack_fields, unpack_fields
 from repro.encodings.range_coder import (
     AdaptiveSymbolModel,
     RangeDecoder,
@@ -114,6 +115,68 @@ class FpzipCompressor(Compressor):
         zz = _zigzag(residual).ravel()
         width = zz.dtype.itemsize * 8
 
+        # Plan-then-pack: the adaptive range coder is inherently serial
+        # (every symbol updates the model), but the mantissa stream it
+        # interleaves with is not — emit all residual bits in one
+        # vectorized pass instead of one BitWriter call per element.
+        lengths = significant_bits(zz)
+        encoder = RangeEncoder()
+        model = AdaptiveSymbolModel(width + 1)
+        for length in lengths.tolist():
+            model.encode_symbol(encoder, length)
+        wide = lengths > 1
+        # The top significant bit is implicit; pack_fields masks to the
+        # field width exactly as BitWriter.write_bits did.
+        mantissa = pack_fields(
+            zz[wide], lengths[wide].astype(np.int64) - 1
+        )
+        range_blob = encoder.finish()
+        return (
+            encode_uvarint(len(range_blob))
+            + range_blob
+            + mantissa
+        )
+
+    def _decompress(
+        self, payload: bytes, shape: tuple[int, ...], dtype: np.dtype
+    ) -> np.ndarray:
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        uint_dtype = np.uint64 if dtype == np.float64 else np.uint32
+        width = np.dtype(uint_dtype).itemsize * 8
+
+        blob_len, offset = decode_uvarint(payload, 0)
+        if offset + blob_len > len(payload):
+            raise CorruptStreamError("fpzip range stream truncated")
+        decoder = RangeDecoder(payload[offset : offset + blob_len])
+        model = AdaptiveSymbolModel(width + 1)
+
+        lengths = np.empty(count, dtype=np.int64)
+        decode = model.decode_symbol
+        for index in range(count):
+            lengths[index] = decode(decoder)
+        widths = lengths - 1
+        np.maximum(widths, 0, out=widths)
+        vals = unpack_fields(payload[offset + blob_len :], widths)
+        shift = widths.view(np.uint64)
+        zz = np.where(
+            lengths > 1,
+            (np.uint64(1) << shift) | vals,
+            lengths.view(np.uint64),
+        ).astype(uint_dtype)
+        residual = _unzigzag(zz).reshape(shape)
+        mapped = _lorenzo_reconstruct(residual)
+        return bits_to_float(sign_magnitude_unmap(mapped)).reshape(shape)
+
+    # ------------------------------------------------------------------
+    # Scalar oracle (the original per-element implementation)
+    # ------------------------------------------------------------------
+    def _compress_scalar(self, array: np.ndarray) -> bytes:
+        """Reference coder; the vectorized path must match it bit-exactly."""
+        mapped = sign_magnitude_map(float_bits(array))
+        residual = _lorenzo_residuals(mapped)
+        zz = _zigzag(residual).ravel()
+        width = zz.dtype.itemsize * 8
+
         lengths = significant_bits(zz)
         encoder = RangeEncoder()
         model = AdaptiveSymbolModel(width + 1)
@@ -131,9 +194,10 @@ class FpzipCompressor(Compressor):
             + bits.getvalue()
         )
 
-    def _decompress(
+    def _decompress_scalar(
         self, payload: bytes, shape: tuple[int, ...], dtype: np.dtype
     ) -> np.ndarray:
+        """Reference decoder matching :meth:`_compress_scalar`."""
         count = int(np.prod(shape, dtype=np.int64)) if shape else 1
         uint_dtype = np.uint64 if dtype == np.float64 else np.uint32
         width = np.dtype(uint_dtype).itemsize * 8

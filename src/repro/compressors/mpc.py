@@ -181,7 +181,11 @@ class MpcCompressor(Compressor):
         stage3[mask] = nonzero
         stage2 = np.cumsum(stage3, axis=1, dtype=uint_dtype)
         stage1 = _bit_untranspose_chunks(stage2)
+        # Undo LNV6s: the lag-6 recurrence splits into 6 independent
+        # prefix sums over the interleaved lanes (modular arithmetic
+        # wraps identically to the scalar per-lane loop).
         chunks = stage1.copy()
-        for lane in range(_DELTA_LAG, _CHUNK):
-            chunks[:, lane] = stage1[:, lane] + chunks[:, lane - _DELTA_LAG]
+        for residue in range(_DELTA_LAG):
+            lanes = chunks[:, residue::_DELTA_LAG]
+            np.cumsum(lanes, axis=1, dtype=uint_dtype, out=lanes)
         return chunks.reshape(-1)[:n].view(dtype)

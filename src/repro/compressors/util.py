@@ -20,8 +20,12 @@ __all__ = [
     "sign_magnitude_map",
     "sign_magnitude_unmap",
     "significant_bits",
+    "lead_nonzero",
+    "lead_trail_nonzero",
+    "trail_nonzero",
     "leading_zeros",
     "trailing_zeros",
+    "pack_record_fields",
     "bit_transpose",
     "bit_untranspose",
 ]
@@ -78,10 +82,32 @@ def sign_magnitude_unmap(mapped: np.ndarray) -> np.ndarray:
 def significant_bits(values: np.ndarray) -> np.ndarray:
     """Vectorized bit length: position of the highest set bit plus one.
 
-    Zero maps to zero.  Works on any unsigned integer dtype using pure
-    integer shifts, so it is exact beyond the 2**53 float precision limit.
+    Zero maps to zero.  Exact beyond the 2**53 float precision limit:
+    the 32/64-bit fast path reads the IEEE 754 exponent of the value
+    converted to float64 and then corrects the one case where rounding
+    crossed a power of two, so no precision is lost.
     """
     values = np.asarray(values)
+    width = values.dtype.itemsize * 8
+    if width not in (32, 64):
+        return _significant_bits_generic(values)
+    as_float = values.astype(np.float64)
+    estimate = (
+        (as_float.view(np.uint64) >> np.uint64(52)) & np.uint64(0x7FF)
+    ).view(np.int64) - 1022
+    if width == 64:
+        # A uint64 with more than 53 significant bits can round *up* to
+        # the next power of two, overshooting the true bit length by
+        # one; detect that by checking the claimed top bit is really set.
+        np.minimum(estimate, 64, out=estimate)
+        shift = np.maximum(estimate - 1, 0).view(np.uint64)
+        estimate -= ((values >> shift) == 0).view(np.int8)
+    estimate[values == 0] = 0
+    return estimate.astype(np.uint8)
+
+
+def _significant_bits_generic(values: np.ndarray) -> np.ndarray:
+    """Shift-halving bit length for unsigned dtypes without a fast path."""
     width = values.dtype.itemsize * 8
     result = np.zeros(values.shape, dtype=np.uint8)
     work = values.copy()
@@ -93,6 +119,49 @@ def significant_bits(values: np.ndarray) -> np.ndarray:
         shift //= 2
     result[values != 0] += np.uint8(1)
     return result
+
+
+def lead_nonzero(values: np.ndarray) -> np.ndarray:
+    """Leading-zero counts for an array without zeros, as ``int64``.
+
+    Float-exponent fast path with the power-of-two rounding fixup;
+    behaviour on zero elements is undefined — callers filter zero
+    residuals into their own control case first.
+    """
+    width = values.dtype.itemsize * 8
+    as_float = values.astype(np.float64)
+    bitlen = (
+        (as_float.view(np.int64) >> np.int64(52)) & np.int64(0x7FF)
+    ) - 1022
+    if width == 64:
+        # Values over 53 significant bits may round up past a power of
+        # two; verify the claimed top bit (bitlen >= 1 for nonzero input).
+        np.minimum(bitlen, 64, out=bitlen)
+        bitlen -= ((values >> (bitlen - 1).view(np.uint64)) == 0).view(np.int8)
+    return width - bitlen
+
+
+def trail_nonzero(values: np.ndarray) -> np.ndarray:
+    """Trailing-zero counts for an array without zeros, as ``int64``.
+
+    The isolated lowest set bit is a power of two, so its float64
+    exponent is exact at any width — no fixup pass needed.
+    """
+    lowest = values & (~values + np.asarray(1, dtype=values.dtype))
+    low_float = lowest.astype(np.float64)
+    return (
+        (low_float.view(np.int64) >> np.int64(52)) & np.int64(0x7FF)
+    ) - 1023
+
+
+def lead_trail_nonzero(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Fused ``(leading_zeros, trailing_zeros)`` for arrays without zeros.
+
+    The XOR-window coders need both counts for every nonzero residual;
+    the float-exponent fast paths cost roughly half of two generic
+    calls.  Returns ``int64`` arrays ready for index arithmetic.
+    """
+    return lead_nonzero(values), trail_nonzero(values)
 
 
 def leading_zeros(values: np.ndarray) -> np.ndarray:
@@ -110,6 +179,51 @@ def trailing_zeros(values: np.ndarray) -> np.ndarray:
     result = (significant_bits(lowest) - np.uint8(1)).astype(np.int16)
     result[values == 0] = width
     return result.astype(np.uint8)
+
+
+def pack_record_fields(
+    first: int,
+    width: int,
+    hdr_v: np.ndarray,
+    hdr_w: np.ndarray,
+    pay_v: np.ndarray,
+    pay_w: np.ndarray,
+) -> bytes:
+    """Pack per-record (header, payload) field pairs after a first value.
+
+    Shared tail of the XOR-window coders: records whose header and
+    payload fit one 64-bit word are fused into a single field, and the
+    field list is built compact (no zero-width slots) because
+    :func:`repro.encodings.vectorbit.pack_fields` cost scales with
+    field count.  ``hdr_v``/``pay_v`` must already be masked to their
+    widths.
+    """
+    from repro.encodings.vectorbit import pack_fields
+
+    u64 = np.uint64
+    n_records = hdr_v.size
+    total_w = (hdr_w + pay_w).astype(np.int64, copy=False)
+    fused = total_w <= 64
+    slot0_v = np.where(fused, (hdr_v << pay_w.astype(u64)) | pay_v, hdr_v)
+    extra = np.flatnonzero(~fused)  # records needing a second field
+    n_fields = n_records + extra.size + 1
+    fields_v = np.empty(n_fields, dtype=u64)
+    fields_w = np.empty(n_fields, dtype=np.int64)
+    fields_v[0] = first
+    fields_w[0] = width
+    if extra.size:
+        slot0_pos = np.arange(1, n_records + 1, dtype=np.int64)
+        bump = np.zeros(n_records, dtype=np.int64)
+        bump[extra] = 1
+        slot0_pos += np.cumsum(bump) - bump
+        fields_v[slot0_pos] = slot0_v
+        fields_w[slot0_pos] = np.where(fused, total_w, hdr_w)
+        fields_v[slot0_pos[extra] + 1] = pay_v[extra]
+        fields_w[slot0_pos[extra] + 1] = pay_w[extra]
+    else:  # every record fused into one field: plain slice assignment
+        fields_v[1:] = slot0_v
+        fields_w[1:] = total_w
+    return pack_fields(fields_v, fields_w, assume_masked=True)
 
 
 def bit_transpose(block: np.ndarray) -> np.ndarray:

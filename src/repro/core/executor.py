@@ -17,7 +17,9 @@ out over a ``ProcessPoolExecutor`` while keeping three guarantees:
   to the serial path instead of crashing.
 
 Worker count resolution order: explicit ``jobs`` argument, then the
-``FCBENCH_JOBS`` environment variable, then 1 (serial).
+``FCBENCH_JOBS`` environment variable, then 1 (serial).  A value of 0
+(argument or environment) means "auto": use every CPU the machine
+reports via ``os.cpu_count()``.
 """
 
 from __future__ import annotations
@@ -52,7 +54,11 @@ class CellTask:
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
-    """Resolve the worker count: argument, then FCBENCH_JOBS, then 1."""
+    """Resolve the worker count: argument, then FCBENCH_JOBS, then 1.
+
+    ``0`` (from either source) auto-detects ``os.cpu_count()`` so "use
+    the whole machine" needs no hardware knowledge in scripts.
+    """
     if jobs is None:
         env = os.environ.get("FCBENCH_JOBS", "").strip()
         if env:
@@ -62,7 +68,10 @@ def resolve_jobs(jobs: int | None = None) -> int:
                 jobs = 1
         else:
             jobs = 1
-    return max(1, int(jobs))
+    jobs = int(jobs)
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
 
 
 def _failure(task: CellTask, exc: BaseException) -> Measurement:

@@ -25,6 +25,7 @@ from repro.encodings.varint import (
     encode_svarint,
     encode_uvarint,
 )
+from repro.encodings.vectorbit import field_offsets, pack_fields, unpack_fields
 from repro.encodings.zstd_like import zstd_compress, zstd_decompress
 
 __all__ = [
@@ -40,12 +41,15 @@ __all__ = [
     "decode_uvarint",
     "encode_svarint",
     "encode_uvarint",
+    "field_offsets",
     "huffman_decode",
     "huffman_encode",
     "lz4_compress",
     "lz4_decompress",
+    "pack_fields",
     "rle_decode",
     "rle_encode",
+    "unpack_fields",
     "zstd_compress",
     "zstd_decompress",
 ]

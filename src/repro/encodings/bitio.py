@@ -64,13 +64,30 @@ class BitWriter:
             count -= 32
         self.write_bits((1 << (count + 1)) - 2, count + 1)
 
+    #: Chunk size for unaligned ``write_bytes``: big enough to amortize
+    #: the per-call overhead, small enough that the intermediate Python
+    #: integer stays cheap to shift.
+    _BYTES_CHUNK = 4096
+
     def write_bytes(self, data: bytes) -> None:
-        """Append whole bytes; fast path when the stream is byte-aligned."""
+        """Append whole bytes; byte-aligned streams extend the buffer directly.
+
+        The unaligned path batches each chunk into one integer and a
+        single ``write_bits`` call instead of one call per byte.
+        """
         if self._nbits == 0:
             self._buf.extend(data)
-        else:
-            for byte in data:
-                self.write_bits(byte, 8)
+            return
+        data = bytes(data)
+        for start in range(0, len(data), self._BYTES_CHUNK):
+            chunk = data[start : start + self._BYTES_CHUNK]
+            acc = (self._acc << (8 * len(chunk))) | int.from_bytes(
+                chunk, "big"
+            )
+            # The stream stays misaligned by the same amount, so all but
+            # the carried low bits flush as whole bytes in one call.
+            self._buf += (acc >> self._nbits).to_bytes(len(chunk), "big")
+            self._acc = acc & ((1 << self._nbits) - 1)
 
     def align_to_byte(self) -> None:
         """Pad with zero bits up to the next byte boundary."""

@@ -1,0 +1,48 @@
+"""Adversarial float arrays for the vector/scalar equivalence tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def build_adversarial_cases() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(20260727)
+    nan_payloads = np.array(
+        [np.nan, -np.nan] * 40, dtype=np.float64
+    ).view(np.uint64)
+    # Distinct NaN payload bit patterns exercise full-width XOR windows.
+    nan_payloads[1::2] |= np.uint64(0xDEADBEEF)
+    return {
+        "empty": np.array([], dtype=np.float64),
+        "single": np.array([2.718281828459045]),
+        "pair": np.array([1.0, 1.0]),
+        "constant_run": np.full(777, -12.5),
+        "alternating": np.tile(np.array([1.5, -1.5]), 300),
+        "specials": np.array(
+            [0.0, -0.0, np.inf, -np.inf, np.nan, 5e-324, -5e-324,
+             1.7976931348623157e308, -1.7976931348623157e308, 1e-308] * 13
+        ),
+        "nan_payloads": nan_payloads.view(np.float64),
+        "denormals_f64": rng.normal(0, 1, 600) * 1e-310,
+        "denormals_f32": (
+            rng.normal(0, 1, 600).astype(np.float32) * np.float32(1e-42)
+        ),
+        "noise_f64": rng.normal(0, 1, 4000),
+        "noise_f32": rng.normal(0, 1, 4000).astype(np.float32),
+        "smooth_walk": np.cumsum(rng.normal(0, 1e-6, 4000)) + 100.0,
+        "decimals": np.round(rng.normal(50, 10, 4000), 2),
+        "quantized_f32": np.round(
+            rng.normal(0, 5, 4000), 1
+        ).astype(np.float32),
+        "repeats": np.repeat(rng.normal(0, 1, 60), 70),
+        "matrix": np.round(rng.normal(10, 3, (90, 11)), 3),
+        "zero_blocks": np.concatenate(
+            [np.zeros(500), rng.normal(0, 1, 500), np.zeros(500)]
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def adversarial_cases() -> dict[str, np.ndarray]:
+    return build_adversarial_cases()

@@ -15,11 +15,19 @@ import pytest
 import repro.cli
 import repro.core.runner
 import repro.core.suite
+import repro.encodings.vectorbit
+import repro.perf.bench
 
 
 @pytest.mark.parametrize(
     "module",
-    [repro.core.suite, repro.core.runner, repro.cli],
+    [
+        repro.core.suite,
+        repro.core.runner,
+        repro.cli,
+        repro.encodings.vectorbit,
+        repro.perf.bench,
+    ],
     ids=lambda m: m.__name__,
 )
 def test_docstring_examples_run(module, tmp_path, monkeypatch):

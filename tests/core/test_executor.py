@@ -49,10 +49,21 @@ def test_resolve_jobs_env_override(monkeypatch):
 
 
 def test_resolve_jobs_clamps_and_tolerates_garbage(monkeypatch):
-    assert resolve_jobs(0) == 1
     assert resolve_jobs(-3) == 1
     monkeypatch.setenv("FCBENCH_JOBS", "not-a-number")
     assert resolve_jobs() == 1
+
+
+def test_resolve_jobs_zero_auto_detects_cpu_count(monkeypatch):
+    import os
+
+    expected = os.cpu_count() or 1
+    assert resolve_jobs(0) == expected
+    monkeypatch.setenv("FCBENCH_JOBS", "0")
+    assert resolve_jobs() == expected
+    # cpu_count() can legitimately return None; auto still yields >= 1.
+    monkeypatch.setattr(os, "cpu_count", lambda: None)
+    assert resolve_jobs(0) == 1
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,135 @@
+"""Vectorized bit-stream engine vs. the scalar BitWriter/BitReader oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encodings.bitio import BitReader, BitWriter
+from repro.encodings.vectorbit import field_offsets, pack_fields, unpack_fields
+from repro.errors import CorruptStreamError
+
+
+def _scalar_pack(values, widths) -> bytes:
+    writer = BitWriter()
+    for value, width in zip(values, widths):
+        writer.write_bits(int(value), int(width))
+    return writer.getvalue()
+
+
+def _scalar_unpack(payload, widths) -> np.ndarray:
+    reader = BitReader(payload)
+    return np.array(
+        [reader.read_bits(int(w)) for w in widths], dtype=np.uint64
+    )
+
+
+class TestPackFields:
+    def test_empty(self):
+        assert pack_fields([], []) == b""
+
+    def test_all_zero_widths(self):
+        assert pack_fields([5, 9], [0, 0]) == b""
+
+    def test_single_full_width_field(self):
+        value = 0xDEADBEEFCAFEF00D
+        assert pack_fields([value], [64]) == value.to_bytes(8, "big")
+
+    def test_values_masked_to_width(self):
+        # write_bits masks to the low bits; pack_fields must match.
+        assert pack_fields([0xFFF], [4]) == _scalar_pack([0xFFF], [4])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            pack_fields([1, 2], [3])
+
+    def test_width_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_fields([1], [65])
+        with pytest.raises(ValueError):
+            pack_fields([1], [-1])
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_batches_byte_identical_to_bitwriter(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 400))
+        widths = rng.integers(0, 65, n)
+        values = rng.integers(0, 1 << 62, n, dtype=np.uint64) * 4 + (
+            rng.integers(0, 4, n).astype(np.uint64)
+        )
+        assert pack_fields(values, widths) == _scalar_pack(values, widths)
+
+    def test_assume_masked_matches_when_values_fit(self):
+        rng = np.random.default_rng(99)
+        widths = rng.integers(1, 65, 200)
+        values = rng.integers(0, 1 << 62, 200, dtype=np.uint64) & (
+            (np.uint64(1) << np.minimum(widths, 63).astype(np.uint64))
+            - np.uint64(1)
+        )
+        assert pack_fields(values, widths, assume_masked=True) == _scalar_pack(
+            values, widths
+        )
+
+    def test_trailing_partial_byte_zero_padded(self):
+        # 3 bits -> one byte with zero padding, as BitWriter.getvalue.
+        assert pack_fields([0b101], [3]) == bytes([0b1010_0000])
+
+
+class TestUnpackFields:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_roundtrip_matches_bitreader(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(1, 400))
+        widths = rng.integers(0, 65, n)
+        values = rng.integers(0, 1 << 63, n, dtype=np.uint64)
+        payload = _scalar_pack(values, widths)
+        assert np.array_equal(
+            unpack_fields(payload, widths), _scalar_unpack(payload, widths)
+        )
+
+    def test_explicit_offsets_extract_interleaved_fields(self):
+        widths = np.array([5, 64, 1, 13, 32])
+        values = np.array(
+            [31, 2**64 - 1, 1, 8191, 2**31], dtype=np.uint64
+        )
+        payload = pack_fields(values, widths)
+        offsets = field_offsets(widths)
+        subset = [1, 3, 4]
+        assert np.array_equal(
+            unpack_fields(payload, widths[subset], offsets[subset]),
+            values[subset],
+        )
+
+    def test_zero_width_fields_decode_to_zero(self):
+        payload = pack_fields([7], [3])
+        out = unpack_fields(payload, [0, 3, 0])
+        assert out.tolist() == [0, 7, 0]
+
+    def test_out_of_bounds_raises_corrupt_stream(self):
+        with pytest.raises(CorruptStreamError):
+            unpack_fields(b"\xff", [9])
+        with pytest.raises(CorruptStreamError):
+            unpack_fields(b"\xff\xff", [4], offsets=[-1])
+
+    def test_empty(self):
+        assert unpack_fields(b"", []).size == 0
+
+
+class TestFieldOffsets:
+    def test_cumulative(self):
+        assert field_offsets([3, 0, 5, 64]).tolist() == [0, 3, 3, 8]
+
+
+class TestLargeBatch:
+    def test_two_hundred_thousand_fields_roundtrip(self):
+        rng = np.random.default_rng(7)
+        widths = rng.integers(1, 65, 200_000)
+        values = rng.integers(0, 1 << 63, 200_000, dtype=np.uint64)
+        payload = pack_fields(values, widths)
+        mask = np.where(
+            widths < 64,
+            (np.uint64(1) << np.minimum(widths, 63).astype(np.uint64))
+            - np.uint64(1),
+            np.uint64(0xFFFFFFFFFFFFFFFF),
+        )
+        assert np.array_equal(unpack_fields(payload, widths), values & mask)

@@ -1,0 +1,78 @@
+"""Perf guard: fail when encode throughput regresses >30% vs. the baseline.
+
+Opt-in via ``pytest -m perf`` (deselected by default through pytest.ini's
+``addopts``), because wall-clock assertions belong in a perf lane, not in
+the deterministic tier-1 run.  The baseline is the newest committed
+``BENCH_*.json`` at the repo root; its ``guard`` cells are small enough
+to re-measure in a few seconds.
+
+Absolute MB/s numbers are machine- and load-dependent (a shared host can
+easily swing 2x), so the guard compares *speedup ratios* — vectorized
+encode over the scalar oracle, re-measured back-to-back on the same
+machine — against the baseline's recorded ratio.  Both measurements see
+the same load, so the ratio is portable where raw throughput is not.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import bench
+
+#: Allowed slowdown before the guard trips (0.7 == a >30% regression).
+THRESHOLD = 0.7
+
+
+def _baseline():
+    path = bench.latest_snapshot(bench.repo_root())
+    if path is None:
+        pytest.skip("no committed BENCH_*.json baseline at the repo root")
+    report = json.loads(path.read_text())
+    if not report.get("guard"):
+        pytest.skip(f"{path.name} carries no guard cells")
+    return path, report
+
+
+@pytest.mark.perf
+def test_guard_cells_hold_encode_throughput():
+    path, report = _baseline()
+    failures = []
+    for recorded in report["guard"]:
+        baseline_speedup = recorded.get("encode_speedup_vs_scalar")
+        if not baseline_speedup:
+            pytest.skip(
+                f"{path.name} guard cells predate the speedup-ratio format"
+            )
+        fresh = bench.bench_cell(
+            recorded["method"],
+            recorded["dataset"],
+            recorded["elements"],
+            repeats=3,
+            oracle=True,
+        )
+        ratio = fresh["encode_speedup_vs_scalar"] / baseline_speedup
+        if ratio < THRESHOLD:
+            failures.append(
+                f"{recorded['method']}/{recorded['dataset']}: "
+                f"{fresh['encode_speedup_vs_scalar']:.1f}x vs-scalar now, "
+                f"baseline {baseline_speedup:.1f}x ({ratio:.2f} of baseline)"
+            )
+    assert not failures, (
+        f"encode speedup regressed >30% vs {path.name}:\n"
+        + "\n".join(failures)
+    )
+
+
+@pytest.mark.perf
+def test_vectorized_encode_still_beats_scalar_oracle():
+    """Machine-independent floor: the rewrite must stay well ahead of seed."""
+    cell = bench.bench_cell(
+        "gorilla", bench.GUARD_DATASET, 100_000, repeats=2, oracle=True
+    )
+    assert cell["encode_speedup_vs_scalar"] > 3.0
+    cell = bench.bench_cell(
+        "chimp", bench.GUARD_DATASET, 100_000, repeats=2, oracle=True
+    )
+    assert cell["encode_speedup_vs_scalar"] > 3.0
