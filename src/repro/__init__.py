@@ -6,6 +6,11 @@ a simulated in-memory database, statistical ranking, and a calibrated
 performance model reproducing the paper's tables and figures.
 """
 
+from repro.api import (
+    compress_array,
+    decompress_array,
+    open_stream,
+)
 from repro.compressors import compressor_names, get_compressor
 from repro.core import run_suite
 from repro.data import dataset_names, load
@@ -14,9 +19,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "compress_array",
     "compressor_names",
     "dataset_names",
+    "decompress_array",
     "get_compressor",
     "load",
+    "open_stream",
     "run_suite",
 ]

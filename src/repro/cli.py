@@ -15,7 +15,12 @@ Subcommands:
   (method, dataset) cell (plus the scalar-oracle baselines where a
   codec retains one), write ``BENCH_<git-sha>.json`` at the repo root,
   and diff against the previous snapshot.
-* ``fcbench list``   — enumerate the registered methods and datasets.
+* ``fcbench compress / decompress / inspect`` — the streaming codec
+  surface: turn a ``.npy`` array into a seekable ``.fcf`` frame stream
+  (``--codec``, ``--chunk-elements``, ``--jobs``), restore it
+  bit-exactly, or print a stream's header and chunk index.
+* ``fcbench list``   — enumerate the registered methods and datasets
+  (``--json`` for machine-readable registry introspection).
 
 Usage — run a single cell, then clear the cache it left behind:
 
@@ -29,6 +34,32 @@ Usage — run a single cell, then clear the cache it left behind:
     >>> main(["cache", "clear"])
     cleared (all): 1 cell(s), 0 legacy blob(s), 0 kept
     0
+
+Stream a ``.npy`` array into the frame format and back, bit-exactly:
+
+    >>> import numpy as np
+    >>> d = tempfile.mkdtemp()
+    >>> npy = os.path.join(d, "field.npy")
+    >>> np.save(npy, np.linspace(0.0, 1.0, 3000).reshape(3, 1000))
+    >>> main(["compress", npy, npy + ".fcf", "--codec", "gorilla",
+    ...       "--chunk-elements", "1024", "--quiet"])
+    0
+    >>> main(["inspect", npy + ".fcf"])  # doctest: +ELLIPSIS
+    codec            gorilla
+    dtype            float64
+    shape            3x1000
+    chunk elements   1024
+    chunks           3
+    raw bytes        24000
+    compressed bytes ...
+    ratio            ...
+    0
+    >>> main(["decompress", npy + ".fcf", os.path.join(d, "back.npy"),
+    ...       "--quiet"])
+    0
+    >>> bool(np.array_equal(np.load(os.path.join(d, "back.npy")),
+    ...                     np.load(npy)))
+    True
 
 Exit codes: 0 on success (the summary line still reports per-cell
 failures, which include the paper's deliberate "-" skip cells), 1 when
@@ -266,9 +297,166 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# fcbench compress / decompress / inspect (the streaming surface)
+# ----------------------------------------------------------------------
+def _load_npy(path: str):
+    import numpy as np
+
+    try:
+        array = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read {path!r}: {exc}") from exc
+    if array.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise SystemExit(
+            f"error: {path!r} holds {array.dtype}; the frame format stores "
+            "float32/float64 (cast the array first)"
+        )
+    return array
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.api import available_codecs, open_stream
+
+    known = available_codecs()
+    if args.codec not in known:
+        raise SystemExit(
+            f"error: unknown codec {args.codec!r}\n"
+            f"known codecs: {', '.join(known)}"
+        )
+    array = _load_npy(args.input)
+    out = open_stream(
+        args.output,
+        "wb",
+        codec=args.codec,
+        dtype=array.dtype,
+        chunk_elements=args.chunk_elements,
+        jobs=args.jobs,
+        shape=array.shape,
+    )
+    with out:
+        out.write(array)
+    if not args.quiet:
+        import os
+
+        compressed = os.path.getsize(args.output)
+        ratio = out.raw_bytes / compressed if compressed else float("inf")
+        print(
+            f"{args.input} -> {args.output}: {array.size} elements in "
+            f"{len(out.frames)} chunk(s), {out.raw_bytes} -> {compressed} "
+            f"bytes (ratio {ratio:.3f}, codec {args.codec})"
+        )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.api import open_stream
+    from repro.errors import ReproError
+
+    try:
+        with open_stream(args.input, jobs=args.jobs) as stream:
+            array = stream.read_all()
+            codec = stream.codec_name
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {args.input!r}: {exc}") from exc
+    except ReproError as exc:
+        raise SystemExit(f"error: {args.input}: {exc}") from exc
+    np.save(args.output, array)
+    if not args.quiet:
+        print(
+            f"{args.input} -> {args.output}: {array.size} x {array.dtype} "
+            f"restored (shape {'x'.join(map(str, array.shape))}, codec {codec})"
+        )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import open_stream
+    from repro.errors import ReproError
+
+    try:
+        with open_stream(args.file) as stream:
+            dtype = stream.dtype
+            raw = stream.n_elements * dtype.itemsize
+            compressed = stream.compressed_bytes
+            payload = {
+                "codec": stream.codec_name,
+                "dtype": str(dtype),
+                "shape": list(stream.shape),
+                "chunk_elements": stream.chunk_elements,
+                "n_chunks": stream.n_chunks,
+                "n_elements": stream.n_elements,
+                "raw_bytes": raw,
+                "compressed_bytes": compressed,
+                "compression_ratio": raw / compressed if compressed else None,
+                "chunks": [
+                    {
+                        "n_elements": f.n_elements,
+                        "compressed_bytes": f.compressed_bytes,
+                        "offset": f.offset,
+                    }
+                    for f in stream.frames
+                ],
+            }
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {args.file!r}: {exc}") from exc
+    except ReproError as exc:
+        raise SystemExit(f"error: {args.file}: {exc}") from exc
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    ratio = payload["compression_ratio"]
+    rows = [
+        ("codec", payload["codec"]),
+        ("dtype", payload["dtype"]),
+        ("shape", "x".join(map(str, payload["shape"])) or "scalar"),
+        ("chunk elements", str(payload["chunk_elements"])),
+        ("chunks", str(payload["n_chunks"])),
+        ("raw bytes", str(raw)),
+        ("compressed bytes", str(compressed)),
+        ("ratio", f"{ratio:.3f}" if ratio else "inf"),
+    ]
+    for key, value in rows:
+        print(f"{key:<16} {value}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # fcbench list
 # ----------------------------------------------------------------------
+def _list_json() -> str:
+    import dataclasses
+    import json
+
+    from repro.api import available_codecs
+
+    methods = []
+    for name in default_methods():
+        info = get_compressor(name).info
+        record = dataclasses.asdict(info)
+        record["precisions"] = sorted(record["precisions"])
+        methods.append(record)
+    datasets = [dataclasses.asdict(spec) for spec in CATALOG]
+    for record in datasets:
+        record["paper_extent"] = list(record["paper_extent"])
+    return json.dumps(
+        {
+            "methods": methods,
+            "datasets": datasets,
+            "frame_codecs": available_codecs(),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
+    if args.json:
+        print(_list_json())
+        return 0
     show_methods = args.methods or not args.datasets
     show_datasets = args.datasets or not args.methods
     if show_methods:
@@ -431,9 +619,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.set_defaults(func=_cmd_bench)
 
+    p_comp = sub.add_parser(
+        "compress",
+        help="compress a .npy array into a seekable .fcf frame stream",
+    )
+    p_comp.add_argument("input", help="source .npy file (float32/float64)")
+    p_comp.add_argument("output", help="destination .fcf stream")
+    p_comp.add_argument(
+        "--codec",
+        default="bitshuffle-zstd",
+        help="frame codec: a registered method or 'none' "
+        "(default %(default)s)",
+    )
+    p_comp.add_argument(
+        "--chunk-elements",
+        type=int,
+        default=1 << 16,
+        help="elements per independently compressed chunk frame "
+        "(default %(default)s)",
+    )
+    p_comp.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for chunk compression; 0 = all cores "
+        "(output is byte-identical to serial)",
+    )
+    p_comp.add_argument("--quiet", action="store_true", help="no summary line")
+    p_comp.set_defaults(func=_cmd_compress)
+
+    p_dec = sub.add_parser(
+        "decompress", help="restore a .fcf stream back to a .npy array"
+    )
+    p_dec.add_argument("input", help="source .fcf stream")
+    p_dec.add_argument("output", help="destination .npy file")
+    p_dec.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for chunk decoding; 0 = all cores",
+    )
+    p_dec.add_argument("--quiet", action="store_true", help="no summary line")
+    p_dec.set_defaults(func=_cmd_decompress)
+
+    p_ins = sub.add_parser(
+        "inspect", help="print an .fcf stream's header and chunk index"
+    )
+    p_ins.add_argument("file", help=".fcf stream to inspect")
+    p_ins.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_ins.set_defaults(func=_cmd_inspect)
+
     p_list = sub.add_parser("list", help="enumerate methods and datasets")
     p_list.add_argument("--methods", action="store_true", help="methods only")
     p_list.add_argument("--datasets", action="store_true", help="datasets only")
+    p_list.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable registry dump: methods with MethodInfo "
+        "fields, datasets, available frame codecs",
+    )
     p_list.set_defaults(func=_cmd_list)
 
     return parser

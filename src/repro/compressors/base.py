@@ -20,8 +20,8 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.encodings.varint import decode_uvarint, encode_uvarint
-from repro.errors import CorruptStreamError, UnsupportedDtypeError
+from repro.encodings.varint import encode_uvarint
+from repro.errors import UnsupportedDtypeError
 from repro.perf.cost import CostModel
 
 __all__ = [
@@ -67,39 +67,64 @@ class Compressor(ABC):
     """Lossless floating-point compressor with a self-describing stream.
 
     Subclasses implement :meth:`_compress` and :meth:`_decompress`; the
-    base class handles input validation and the common header carrying
-    dtype and shape, so every stream round-trips to the exact original
-    array (bit-exact, NaN payloads included).
+    base class handles input validation and framing, so every stream
+    round-trips to the exact original array (bit-exact, NaN payloads
+    included).
+
+    Framing lives in :mod:`repro.api.frames`: the one-shot
+    :meth:`compress`/:meth:`decompress` pair below is kept as a thin
+    single-frame shim over that protocol.  New code that streams,
+    chunks, or needs random access should use the session API
+    (:mod:`repro.api`) instead — see ``docs/streaming.md`` for the
+    migration guide.
     """
 
     info: MethodInfo
     cost: CostModel
     #: Optional hard input-size limit in bytes (GFC's 512 MB, section 4.1).
     max_input_bytes: int | None = None
+    #: Best-case decode expansion in elements per compressed payload
+    #: byte, used to reject hostile headers declaring astronomically
+    #: large extents before any allocation happens.  ``None`` marks
+    #: payload-driven decoders whose output size never depends on the
+    #: declared count (see ``repro.api.frames.check_declared_count``).
+    max_decode_expansion: int | None = 256
 
     # ------------------------------------------------------------------
-    # Public API
+    # Public API (deprecated one-shot shims)
     # ------------------------------------------------------------------
     def compress(self, array: np.ndarray) -> bytes:
-        """Compress ``array`` into a self-describing byte stream."""
-        array = self._validate(array)
-        header = self._pack_header(array)
-        payload = self._compress(array)
-        return header + payload
+        """Compress ``array`` into a self-describing one-shot stream.
+
+        .. deprecated::
+            This is the legacy single-frame surface, kept for
+            compatibility.  Migrate to ``repro.api``:
+            ``compress_array(array, codec)`` for in-memory streams, or
+            ``open_stream(path, "wb", codec=...)`` for files — both add
+            chunked framing, bounded memory, random access, and
+            ``jobs=N`` parallelism.
+        """
+        from repro.api import frames
+
+        return frames.encode_legacy_frame(self, self._validate(array))
 
     def decompress(self, blob: bytes) -> np.ndarray:
-        """Reconstruct the exact original array from :meth:`compress` output."""
-        shape, dtype, offset = self._unpack_header(blob)
-        count = 1
-        for extent in shape:
-            count *= extent
-        decoded = self._decompress(blob[offset:], shape, dtype)
-        if decoded.dtype != dtype or decoded.size != count:
-            raise CorruptStreamError(
-                f"{self.info.name}: decoder produced {decoded.size} x "
-                f"{decoded.dtype}, expected {count} x {dtype}"
-            )
-        return decoded.reshape(shape)
+        """Reconstruct the exact original array from a compressed stream.
+
+        Accepts both this method's legacy one-shot output and the FCF
+        streams produced by the ``repro.api`` sessions (detected by
+        magic), so readers keep working mid-migration.
+
+        .. deprecated::
+            Legacy shim — new code should use
+            ``repro.api.decompress_array`` / ``DecompressSession``.
+        """
+        from repro.api import frames
+        from repro.api.session import decompress_array
+
+        if bytes(blob[:4]) == frames.FRAME_MAGIC:
+            return decompress_array(blob)
+        return frames.decode_legacy_frame(self, blob)
 
     # ------------------------------------------------------------------
     # Subclass hooks
@@ -154,19 +179,15 @@ class Compressor(ABC):
 
     @staticmethod
     def _unpack_header(blob: bytes) -> tuple[tuple[int, ...], np.dtype, int]:
-        if len(blob) < 2 or blob[0] != _MAGIC:
-            raise CorruptStreamError("missing compressor stream magic byte")
-        dtype = _CODE_DTYPES.get(blob[1])
-        if dtype is None:
-            raise CorruptStreamError(f"unknown dtype code {blob[1]}")
-        ndim, offset = decode_uvarint(blob, 2)
-        if ndim > 8:
-            raise CorruptStreamError(f"implausible rank {ndim} in header")
-        shape = []
-        for _ in range(ndim):
-            extent, offset = decode_uvarint(blob, offset)
-            shape.append(extent)
-        return tuple(shape), dtype, offset
+        """Parse the legacy one-shot header (delegates to the frame layer).
+
+        Note that header fields alone cannot be trusted: the declared
+        element count is additionally bounded against the payload length
+        (per-codec ``max_decode_expansion``) inside :meth:`decompress`.
+        """
+        from repro.api import frames
+
+        return frames.decode_legacy_header(blob)
 
 
 # ----------------------------------------------------------------------

@@ -80,6 +80,12 @@ def _unzigzag(zz: np.ndarray) -> np.ndarray:
 class FpzipCompressor(Compressor):
     """fpzip in lossless mode (Lindstrom & Isenburg, 2006)."""
 
+    #: The adaptive range coder approaches zero bits per element on
+    #: constant data, so the best-case expansion is far beyond the
+    #: 1-bit-per-element codecs (empirically ~3.3k elements/byte at 1M
+    #: elements, asymptoting below 128k as model counts saturate).
+    max_decode_expansion = 1 << 17
+
     info = MethodInfo(
         name="fpzip",
         display_name="fpzip",

@@ -153,9 +153,9 @@ class PfpcCompressor(Compressor):
             nbytes = 8 - lzb
             if pos + nbytes > len(payload):
                 raise CorruptStreamError("pFPC residual stream truncated")
-            xor = int.from_bytes(
-                payload[pos : pos + nbytes] + b"\x00" * lzb, "little"
-            )
+            # bytes() keeps this working for memoryview payloads (the
+            # zero-copy framing of the streaming API).
+            xor = int.from_bytes(bytes(payload[pos : pos + nbytes]), "little")
             pos += nbytes
             if selector == 0:
                 value = xor ^ fcm[fcm_hash]

@@ -98,6 +98,12 @@ def _deserialize_tokens(payload: bytes, offset: int) -> bytes:
 class SpdpCompressor(Compressor):
     """SPDP (Claggett, Azimi & Burtscher, 2018)."""
 
+    #: LZ run copying gives SPDP unbounded best-case expansion, but its
+    #: decoder is purely payload-driven — output size comes from the
+    #: token stream, never from the declared count — so the declared
+    #: extents cannot steer an allocation and no header bound applies.
+    max_decode_expansion = None
+
     info = MethodInfo(
         name="spdp",
         display_name="SPDP",

@@ -25,6 +25,7 @@ reports via ``os.cpu_count()``.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -36,7 +37,7 @@ from repro.core.runner import BenchmarkRunner
 from repro.data.catalog import get_spec
 from repro.data.loader import DEFAULT_TARGET_ELEMENTS, load
 
-__all__ = ["CellTask", "execute_cells", "resolve_jobs"]
+__all__ = ["CellTask", "execute_cells", "map_ordered", "resolve_jobs"]
 
 #: Callback fired in the parent as each cell finishes:
 #: ``on_result(task, measurement, elapsed_seconds)``.
@@ -72,6 +73,64 @@ def resolve_jobs(jobs: int | None = None) -> int:
     if jobs == 0:
         return os.cpu_count() or 1
     return max(1, jobs)
+
+
+def map_ordered(fn, items, jobs: int | None = None) -> list:
+    """Apply ``fn`` to every item, in parallel, preserving item order.
+
+    The generic fan-out primitive behind the chunk-parallel compression
+    sessions (:mod:`repro.api`): with ``jobs > 1`` items are submitted
+    to a ``ProcessPoolExecutor`` and the results are reassembled in
+    submission order, so a parallel map is indistinguishable from a
+    serial one.  ``fn`` and every item must be picklable.
+
+    Degradation mirrors :func:`execute_cells`: pools that cannot start
+    (sandboxes) fall back to a serial map, and items abandoned by a pool
+    that breaks mid-flight are re-run serially in the parent.  Unlike
+    the benchmark cells, exceptions raised by ``fn`` itself are *not*
+    converted into failure records — they propagate to the caller.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
+    except (OSError, PermissionError):  # sandboxed / fork-less environments
+        return [fn(item) for item in items]
+
+    _missing = object()
+    slots: list = [_missing] * len(items)
+    with pool:
+        future_index = {
+            pool.submit(fn, item): index for index, item in enumerate(items)
+        }
+        pending = set(future_index)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = future_index[future]
+                    try:
+                        slots[index] = future.result()
+                    except (BrokenProcessPool, pickle.PicklingError,
+                            AttributeError, TypeError):
+                        # Broken pool, or fn/item/result that cannot
+                        # cross the process boundary — pickling happens
+                        # in the feeder thread, so its PicklingError/
+                        # AttributeError/TypeError surfaces here, not at
+                        # submit().  Re-running serially below is safe
+                        # either way: a genuine error from fn itself
+                        # reproduces in the parent.
+                        continue
+        except BaseException:
+            for future in future_index:
+                future.cancel()
+            raise
+    for index, value in enumerate(slots):
+        if value is _missing:
+            slots[index] = fn(items[index])
+    return slots
 
 
 def _failure(task: CellTask, exc: BaseException) -> Measurement:

@@ -14,6 +14,7 @@ The implementation is the classic 32-bit low/high coder with pending-bit
 from __future__ import annotations
 
 from repro.encodings.bitio import BitReader, BitWriter
+from repro.errors import CorruptStreamError
 
 __all__ = [
     "PROBABILITY_BITS",
@@ -102,17 +103,32 @@ class BinaryArithmeticDecoder:
     with the decoded bits.
     """
 
+    #: The decoder's 32-bit value register legitimately looks a little
+    #: past the last encoded bit (the initial fill plus the final
+    #: flush), so a bounded number of phantom zero bits is part of the
+    #: format.  Needing more than this means the stream was truncated —
+    #: without the bound a cut payload would decode to plausible but
+    #: wrong data with no error at all.
+    MAX_PHANTOM_BITS = 64
+
     def __init__(self, data: bytes) -> None:
         self._reader = BitReader(data)
         self._low = 0
         self._high = _FULL
         self._value = 0
+        self._phantom = 0
         for _ in range(32):
             self._value = (self._value << 1) | self._next_bit()
 
     def _next_bit(self) -> int:
         if self._reader.remaining:
             return self._reader.read_bits(1)
+        self._phantom += 1
+        if self._phantom > self.MAX_PHANTOM_BITS:
+            raise CorruptStreamError(
+                "arithmetic stream exhausted: decoder needs more than "
+                f"{self.MAX_PHANTOM_BITS} bits past the end (truncated?)"
+            )
         return 0
 
     def decode(self, prob_one: int) -> int:

@@ -35,6 +35,15 @@ class PrecisionError(ReproError):
     """BUFF was asked for a decimal precision outside its lookup table."""
 
 
+class StreamClosedError(ReproError):
+    """A streaming session was used after :meth:`close`.
+
+    Raised by the :mod:`repro.api` sessions instead of the underlying
+    file object's ``ValueError`` so callers can distinguish a lifecycle
+    bug from a malformed stream.
+    """
+
+
 class StorageError(ReproError):
     """The container file is malformed or an operation on it is invalid."""
 

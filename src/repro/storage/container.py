@@ -1,13 +1,23 @@
-"""HDF5-like chunked container with a compression filter pipeline.
+"""HDF5-like chunked container built on embedded FCF streams.
 
 The paper's simulated in-memory database (section 5.1.2, Figure 4)
 stores compressed floating-point data in HDF5 files, reads chunks from
 disk, decompresses them through a filter, and queries the decoded
-in-memory table.  This module provides that substrate: a binary
-container holding named datasets, each split into fixed-element chunks
-individually compressed by a registered filter (one of the surveyed
-compressors) — the same architecture as HDF5 chunked datasets with
-dataset-transfer filters.
+in-memory table.
+
+Since the streaming redesign the container is a thin envelope: a small
+directory header maps dataset names to byte regions, and each region is
+a complete FCF stream written by a
+:class:`~repro.api.session.CompressSession` — the same frame format,
+chunk index, hardened reader, and chunk-parallel path as user-facing
+streams.  Table 10/11 reproductions therefore exercise exactly the code
+a production deployment would.
+
+Container layout (version 2)::
+
+    magic b"FCBC" | version u8 | n_datasets uvarint
+    per dataset: name length + UTF-8 name | stream length uvarint
+    dataset 0 FCF stream | dataset 1 FCF stream | ...
 """
 
 from __future__ import annotations
@@ -18,16 +28,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.frames import read_layout
+from repro.api.session import CompressSession, DecompressSession
 from repro.encodings.varint import decode_uvarint, encode_uvarint
-from repro.errors import StorageError
-from repro.storage.filters import decode_chunk, encode_chunk
+from repro.errors import CorruptStreamError, StorageError
 
 __all__ = ["ChunkInfo", "DatasetInfo", "ContainerWriter", "ContainerReader"]
 
 _MAGIC = b"FCBC"
-_VERSION = 1
+_VERSION = 2
 _DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
-_CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
 
 
 @dataclass(frozen=True)
@@ -66,13 +76,51 @@ class DatasetInfo:
         return self.raw_bytes / stored if stored else float("inf")
 
 
+class _FileRegion:
+    """A seekable read-only view of ``[base, base + length)`` of a file.
+
+    Lets :class:`~repro.api.session.DecompressSession` treat an embedded
+    dataset stream exactly like a standalone FCF file.
+    """
+
+    def __init__(self, fh, base: int, length: int) -> None:
+        self._fh = fh
+        self._base = base
+        self._length = length
+        self._pos = 0
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        if whence == 0:
+            self._pos = offset
+        elif whence == 1:
+            self._pos += offset
+        elif whence == 2:
+            self._pos = self._length + offset
+        else:
+            raise ValueError(f"bad whence {whence}")
+        return self._pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    def read(self, n: int = -1) -> bytes:
+        remaining = max(self._length - self._pos, 0)
+        if n < 0 or n > remaining:
+            n = remaining
+        self._fh.seek(self._base + self._pos)
+        data = self._fh.read(n)
+        self._pos += len(data)
+        return data
+
+
 class ContainerWriter:
     """Builds a container file dataset by dataset."""
 
-    def __init__(self, chunk_elements: int = 8192) -> None:
+    def __init__(self, chunk_elements: int = 8192, jobs: int | None = None) -> None:
         if chunk_elements < 1:
             raise ValueError("chunk_elements must be positive")
         self.chunk_elements = chunk_elements
+        self.jobs = jobs
         self._datasets: list[tuple[str, np.ndarray, str, int]] = []
 
     def add_dataset(
@@ -100,46 +148,38 @@ class ContainerWriter:
 
     def save(self, path: str | os.PathLike) -> None:
         """Write every queued dataset to ``path``."""
+        streams: list[bytes] = []
+        for name, array, filter_name, chunk_elements in self._datasets:
+            buf = io.BytesIO()
+            codec = None if filter_name == "none" else filter_name
+            try:
+                session = CompressSession(
+                    buf,
+                    codec,
+                    array.dtype,
+                    chunk_elements=chunk_elements,
+                    jobs=self.jobs,
+                    shape=array.shape,
+                )
+            except KeyError as exc:  # unknown filter name
+                raise StorageError(str(exc)) from exc
+            session.write(array)
+            session.close()
+            streams.append(buf.getvalue())
+
         header = io.BytesIO()
-        payloads: list[bytes] = []
         header.write(_MAGIC)
         header.write(bytes([_VERSION]))
         header.write(encode_uvarint(len(self._datasets)))
-
-        # First pass: compress chunks, building per-dataset index blocks
-        # whose offsets are patched once header size is known.
-        dataset_blocks: list[tuple[bytes, list[bytes]]] = []
-        for name, array, filter_name, chunk_elements in self._datasets:
-            flat = array.ravel()
-            chunk_blobs: list[bytes] = []
-            index = io.BytesIO()
+        for (name, *_), stream in zip(self._datasets, streams):
             name_bytes = name.encode()
-            index.write(encode_uvarint(len(name_bytes)))
-            index.write(name_bytes)
-            index.write(bytes([_DTYPE_CODES[array.dtype]]))
-            index.write(encode_uvarint(array.ndim))
-            for extent in array.shape:
-                index.write(encode_uvarint(extent))
-            filt_bytes = filter_name.encode()
-            index.write(encode_uvarint(len(filt_bytes)))
-            index.write(filt_bytes)
-            n_chunks = -(-flat.size // chunk_elements) if flat.size else 0
-            index.write(encode_uvarint(n_chunks))
-            for start in range(0, flat.size, chunk_elements):
-                chunk = flat[start : start + chunk_elements]
-                blob = encode_chunk(filter_name, chunk)
-                chunk_blobs.append(blob)
-                index.write(encode_uvarint(len(chunk)))
-                index.write(encode_uvarint(len(blob)))
-            dataset_blocks.append((index.getvalue(), chunk_blobs))
-
-        for index_bytes, _ in dataset_blocks:
-            header.write(index_bytes)
+            header.write(encode_uvarint(len(name_bytes)))
+            header.write(name_bytes)
+            header.write(encode_uvarint(len(stream)))
         with open(path, "wb") as fh:
             fh.write(header.getvalue())
-            for _, chunk_blobs in dataset_blocks:
-                for blob in chunk_blobs:
-                    fh.write(blob)
+            for stream in streams:
+                fh.write(stream)
 
 
 class ContainerReader:
@@ -149,59 +189,70 @@ class ContainerReader:
     separately from decode time, as Table 11 does.
     """
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(self, path: str | os.PathLike, jobs: int | None = None) -> None:
         self.path = os.fspath(path)
+        self.jobs = jobs
         self._datasets: dict[str, DatasetInfo] = {}
+        self._regions: dict[str, tuple[int, int]] = {}  # name -> (base, length)
+        #: name -> pre-parsed (header, index, data_start), so per-read
+        #: sessions skip re-decoding the footer/index from disk.
+        self._layouts: dict[str, tuple] = {}
         self.bytes_read = 0
         self._parse_index()
 
     def _parse_index(self) -> None:
+        file_size = os.path.getsize(self.path)
         with open(self.path, "rb") as fh:
-            blob = fh.read()
-        if blob[:4] != _MAGIC:
-            raise StorageError(f"{self.path} is not a container file")
-        if blob[4] != _VERSION:
-            raise StorageError(f"unsupported container version {blob[4]}")
-        n_datasets, pos = decode_uvarint(blob, 5)
-        pending: list[tuple[str, np.dtype, tuple[int, ...], str, list[tuple[int, int]]]] = []
-        for _ in range(n_datasets):
-            name_len, pos = decode_uvarint(blob, pos)
-            name = blob[pos : pos + name_len].decode()
-            pos += name_len
-            dtype = _CODE_DTYPES.get(blob[pos])
-            if dtype is None:
-                raise StorageError(f"bad dtype code in dataset {name!r}")
-            pos += 1
-            ndim, pos = decode_uvarint(blob, pos)
-            shape = []
-            for _ in range(ndim):
-                extent, pos = decode_uvarint(blob, pos)
-                shape.append(extent)
-            filt_len, pos = decode_uvarint(blob, pos)
-            filter_name = blob[pos : pos + filt_len].decode()
-            pos += filt_len
-            n_chunks, pos = decode_uvarint(blob, pos)
-            sizes: list[tuple[int, int]] = []
-            for _ in range(n_chunks):
-                n_elements, pos = decode_uvarint(blob, pos)
-                comp_bytes, pos = decode_uvarint(blob, pos)
-                sizes.append((n_elements, comp_bytes))
-            pending.append((name, dtype, tuple(shape), filter_name, sizes))
+            head = fh.read(min(file_size, 1 << 20))
+            if head[:4] != _MAGIC:
+                raise StorageError(f"{self.path} is not a container file")
+            if len(head) < 5:
+                raise StorageError(f"{self.path} is truncated")
+            if head[4] != _VERSION:
+                raise StorageError(f"unsupported container version {head[4]}")
+            try:
+                n_datasets, pos = decode_uvarint(head, 5)
+                entries: list[tuple[str, int]] = []
+                for _ in range(n_datasets):
+                    name_len, pos = decode_uvarint(head, pos)
+                    name = head[pos : pos + name_len].decode()
+                    pos += name_len
+                    stream_len, pos = decode_uvarint(head, pos)
+                    entries.append((name, stream_len))
+            except (CorruptStreamError, UnicodeDecodeError) as exc:
+                raise StorageError(f"malformed container directory: {exc}") from exc
 
-        offset = pos
-        for name, dtype, shape, filter_name, sizes in pending:
-            chunks = []
-            for n_elements, comp_bytes in sizes:
-                chunks.append(ChunkInfo(n_elements, comp_bytes, offset))
-                offset += comp_bytes
-            self._datasets[name] = DatasetInfo(
-                name, dtype, shape, filter_name, tuple(chunks)
-            )
-        if offset != len(blob):
-            raise StorageError(
-                f"container trailer mismatch: expected {offset} bytes, "
-                f"file has {len(blob)}"
-            )
+            base = pos
+            for name, stream_len in entries:
+                if base + stream_len > file_size:
+                    raise StorageError(
+                        f"container trailer mismatch: dataset {name!r} "
+                        f"extends to {base + stream_len} bytes, file has "
+                        f"{file_size}"
+                    )
+                self._regions[name] = (base, stream_len)
+                try:
+                    header, index, data_start = read_layout(
+                        _FileRegion(fh, base, stream_len)
+                    )
+                except CorruptStreamError as exc:
+                    raise StorageError(
+                        f"dataset {name!r} holds a corrupt stream: {exc}"
+                    ) from exc
+                self._layouts[name] = (header, index, data_start)
+                chunks = tuple(
+                    ChunkInfo(f.n_elements, f.compressed_bytes, base + f.offset)
+                    for f in index.frames
+                )
+                self._datasets[name] = DatasetInfo(
+                    name, header.dtype, index.shape, header.codec, chunks
+                )
+                base += stream_len
+            if base != file_size:
+                raise StorageError(
+                    f"container trailer mismatch: expected {base} bytes, "
+                    f"file has {file_size}"
+                )
 
     def dataset_names(self) -> list[str]:
         return list(self._datasets)
@@ -212,20 +263,48 @@ class ContainerReader:
         except KeyError:
             raise StorageError(f"no dataset {name!r} in {self.path}") from None
 
+    def _session(self, fh, name: str) -> DecompressSession:
+        base, length = self._regions[name]
+        return DecompressSession(
+            _FileRegion(fh, base, length),
+            jobs=self.jobs,
+            layout=self._layouts[name],
+        )
+
     def read_dataset(self, name: str) -> np.ndarray:
         """Read and decode a dataset; updates :attr:`bytes_read`."""
         info = self.info(name)
-        pieces: list[np.ndarray] = []
         with open(self.path, "rb") as fh:
-            for chunk in info.chunks:
-                fh.seek(chunk.offset)
-                blob = fh.read(chunk.compressed_bytes)
-                self.bytes_read += len(blob)
-                pieces.append(
-                    decode_chunk(info.filter_name, blob, chunk.n_elements, info.dtype)
-                )
-        if pieces:
-            flat = np.concatenate(pieces)
-        else:
-            flat = np.empty(0, dtype=info.dtype)
+            try:
+                with self._session(fh, name) as session:
+                    flat = (
+                        session.read()
+                        if session.frames
+                        else np.empty(0, dtype=info.dtype)
+                    )
+                    self.bytes_read += session.bytes_read
+            except CorruptStreamError as exc:
+                raise StorageError(
+                    f"dataset {name!r} failed to decode: {exc}"
+                ) from exc
         return flat.reshape(info.shape)
+
+    def read_range(self, name: str, start: int, stop: int) -> np.ndarray:
+        """Decode elements ``[start, stop)`` of the flattened dataset.
+
+        Random access through the embedded stream's chunk index: only
+        the overlapping chunks are read from disk and decompressed
+        (their bytes are added to :attr:`bytes_read`).
+        """
+        info = self.info(name)
+        del info  # raises StorageError for unknown names
+        with open(self.path, "rb") as fh:
+            try:
+                with self._session(fh, name) as session:
+                    out = session.read(start, stop)
+                    self.bytes_read += session.bytes_read
+            except CorruptStreamError as exc:
+                raise StorageError(
+                    f"dataset {name!r} failed to decode: {exc}"
+                ) from exc
+        return out

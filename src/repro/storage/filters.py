@@ -1,67 +1,50 @@
 """Compressor-to-filter adapters for the container's chunk pipeline.
 
-Mirrors HDF5's dataset-transfer filters (paper Figure 4): every
-registered compressor can serve as a chunk filter, plus the identity
-filter ``"none"`` for uncompressed storage.
+Mirrors HDF5's dataset-transfer filters (paper Figure 4).  Since the
+streaming redesign these are thin wrappers over the frame-payload codec
+in :mod:`repro.api.frames` — the container, the paged block store, and
+user-facing FCF streams all encode chunks through the exact same
+functions; this module only translates names and error types for the
+storage layer.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.compressors import get_compressor
-from repro.errors import StorageError
+from repro.api import frames
+from repro.errors import CorruptStreamError, StorageError
 
 __all__ = ["encode_chunk", "decode_chunk", "available_filters"]
 
 
 def available_filters() -> list[str]:
     """Identity plus every registered compressor."""
-    from repro.compressors import compressor_names
+    return frames.available_codecs()
 
-    return ["none", *compressor_names()]
+
+def _resolve(filter_name: str):
+    try:
+        return frames.resolve_codec(filter_name)
+    except CorruptStreamError:
+        from repro.compressors import compressor_names
+
+        known = ", ".join(["none", *compressor_names()])
+        raise StorageError(
+            f"unknown filter {filter_name!r}; known: {known}"
+        ) from None
 
 
 def encode_chunk(filter_name: str, chunk: np.ndarray) -> bytes:
-    """Compress one chunk with the named filter."""
-    if filter_name == "none":
-        return chunk.tobytes()
-    try:
-        compressor = get_compressor(filter_name)
-    except KeyError as exc:
-        raise StorageError(str(exc)) from exc
-    array = np.ascontiguousarray(chunk).ravel()
-    if not compressor.info.supports_dtype(array.dtype):
-        # Double-only methods see the raw byte stream: pairs of float32
-        # values become one 64-bit word (odd tails are zero-padded).
-        if array.size % 2:
-            array = np.concatenate([array, np.zeros(1, dtype=array.dtype)])
-        array = array.view(np.float64)
-    return compressor.compress(array)
+    """Compress one chunk with the named filter (raw frame payload)."""
+    return frames.encode_payload(_resolve(filter_name), chunk)
 
 
 def decode_chunk(
     filter_name: str, blob: bytes, n_elements: int, dtype: np.dtype
 ) -> np.ndarray:
     """Decompress one chunk back to ``n_elements`` of ``dtype``."""
-    if filter_name == "none":
-        out = np.frombuffer(blob, dtype=dtype)
-        if out.size != n_elements:
-            raise StorageError(
-                f"raw chunk holds {out.size} elements, expected {n_elements}"
-            )
-        return out
     try:
-        compressor = get_compressor(filter_name)
-    except KeyError as exc:
+        return frames.decode_payload(_resolve(filter_name), blob, n_elements, dtype)
+    except CorruptStreamError as exc:
         raise StorageError(str(exc)) from exc
-    out = compressor.decompress(blob).ravel()
-    if out.dtype != dtype:
-        # Invert the byte reinterpretation applied by encode_chunk.
-        out = out.view(dtype)[:n_elements]
-    if out.size != n_elements:
-        raise StorageError(
-            f"filter {filter_name!r} decoded {out.size} elements, "
-            f"expected {n_elements}"
-        )
-    return out

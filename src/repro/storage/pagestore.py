@@ -3,10 +3,13 @@
 Database pages are small (4-8 KB) while compressors prefer larger
 blocks (64 KB - 8 MB); section 6.2.1 measures how ratio and throughput
 respond when each method compresses page-sized units independently.
-This module provides that paged compression path: an array is cut into
-pages of a configurable byte size and every page becomes an independent
-compressed unit, exactly like HDF5 chunked storage with per-chunk
-filters.
+
+Since the streaming redesign this module is a thin projection of the
+session API: :func:`paged_compress` writes one FCF stream whose frame
+granularity is the page size (optionally chunk-parallel via ``jobs``),
+and :class:`PagedResult` exposes the per-page payload slices for the
+table's accounting.  Table 10 therefore measures the exact bytes a
+user-facing ``CompressSession`` would write.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.session import DecompressSession, compress_array
 from repro.compressors.base import Compressor
 
 __all__ = ["PagedResult", "paged_compress", "paged_decompress", "PAGE_SIZES"]
@@ -25,13 +29,19 @@ PAGE_SIZES = {"4K": 4 * 1024, "64K": 64 * 1024, "8M": 8 * 1024 * 1024}
 
 @dataclass(frozen=True)
 class PagedResult:
-    """Outcome of compressing one array in fixed-size pages."""
+    """Outcome of compressing one array in fixed-size pages.
+
+    ``stream`` is the complete FCF stream; ``page_blobs`` are its raw
+    per-page frame payloads (no per-page headers — the stream header and
+    chunk index carry the metadata once).
+    """
 
     page_bytes: int
     n_pages: int
     raw_bytes: int
     compressed_bytes: int
     page_blobs: tuple[bytes, ...]
+    stream: bytes = b""
 
     @property
     def compression_ratio(self) -> float:
@@ -41,7 +51,10 @@ class PagedResult:
 
 
 def paged_compress(
-    compressor: Compressor, array: np.ndarray, page_bytes: int
+    compressor: Compressor,
+    array: np.ndarray,
+    page_bytes: int,
+    jobs: int | None = None,
 ) -> PagedResult:
     """Compress ``array`` in independent pages of ``page_bytes``."""
     if page_bytes < array.dtype.itemsize:
@@ -51,15 +64,19 @@ def paged_compress(
         )
     flat = np.ascontiguousarray(array).ravel()
     per_page = max(page_bytes // flat.dtype.itemsize, 1)
-    blobs = []
-    for start in range(0, flat.size, per_page):
-        blobs.append(compressor.compress(flat[start : start + per_page]))
+    stream = compress_array(flat, compressor, chunk_elements=per_page, jobs=jobs)
+    with DecompressSession(stream) as session:
+        blobs = tuple(
+            stream[frame.offset : frame.offset + frame.compressed_bytes]
+            for frame in session.frames
+        )
     return PagedResult(
         page_bytes=page_bytes,
         n_pages=len(blobs),
         raw_bytes=flat.nbytes,
         compressed_bytes=sum(len(blob) for blob in blobs),
-        page_blobs=tuple(blobs),
+        page_blobs=blobs,
+        stream=stream,
     )
 
 
@@ -67,7 +84,7 @@ def paged_decompress(
     compressor: Compressor, result: PagedResult, dtype: np.dtype
 ) -> np.ndarray:
     """Reassemble the flat array from a :class:`PagedResult`."""
-    pieces = [compressor.decompress(blob).ravel() for blob in result.page_blobs]
-    if not pieces:
+    if not result.page_blobs:
         return np.empty(0, dtype=dtype)
-    return np.concatenate(pieces).astype(dtype, copy=False)
+    with DecompressSession(result.stream) as session:
+        return session.read_all().astype(dtype, copy=False)

@@ -1,0 +1,84 @@
+"""Byte-equivalence guarantees of the streaming redesign (satellite).
+
+1. A chunk-parallel ``CompressSession`` writes the exact bytes the
+   serial path writes, for every registered method — parallelism is a
+   scheduling decision, never a format decision.
+2. Single-chunk session output round-trips through the legacy
+   ``Compressor.decompress`` shim for every method, so readers written
+   against the old one-shot API keep working on FCF streams.
+3. The legacy ``compress`` output itself is unchanged by the redesign
+   (pinned against an independent reimplementation of the old framing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import compress_array, decompress_array
+from repro.compressors import compressor_names, get_compressor
+from repro.encodings.varint import encode_uvarint
+
+ALL_METHODS = compressor_names()
+
+
+def _sample(comp, n=3000):
+    rng = np.random.default_rng(5)
+    dtype = np.float64 if "D" in comp.info.precisions else np.float32
+    arr = np.cumsum(rng.normal(0, 1, n)).astype(dtype)
+    arr[3] = np.nan
+    return arr
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+def test_parallel_session_is_byte_identical_to_serial(name):
+    comp = get_compressor(name)
+    arr = _sample(comp)
+    serial = compress_array(arr, comp, chunk_elements=512)
+    parallel = compress_array(arr, comp, chunk_elements=512, jobs=3)
+    assert serial == parallel
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+def test_single_chunk_session_roundtrips_through_legacy_shim(name):
+    comp = get_compressor(name)
+    arr = _sample(comp, n=700)
+    blob = compress_array(arr, comp, chunk_elements=arr.size)
+    restored = comp.decompress(blob)  # the deprecated one-shot surface
+    uint = np.uint64 if arr.dtype.itemsize == 8 else np.uint32
+    np.testing.assert_array_equal(
+        restored.ravel().view(uint), arr.view(uint)
+    )
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+def test_legacy_compress_format_is_frozen(name):
+    """The shim must keep emitting the pre-redesign one-shot layout."""
+    comp = get_compressor(name)
+    arr = _sample(comp, n=257).reshape(257)
+    blob = comp.compress(arr)
+    dtype_code = 1 if arr.dtype == np.float64 else 0
+    expected_header = (
+        bytes([0xFC, dtype_code]) + encode_uvarint(1) + encode_uvarint(257)
+    )
+    assert blob[: len(expected_header)] == expected_header
+    assert blob[len(expected_header) :] == comp._compress(
+        comp._validate(arr)
+    )
+
+
+def test_multi_chunk_fcf_also_accepted_by_legacy_shim():
+    comp = get_compressor("chimp")
+    arr = _sample(comp)
+    blob = compress_array(arr, comp, chunk_elements=256)
+    np.testing.assert_array_equal(
+        comp.decompress(blob).view(np.uint64), arr.view(np.uint64)
+    )
+
+
+def test_fcf_streams_decode_without_naming_a_codec():
+    # The stream is self-describing: the reader resolves the codec from
+    # the header, whatever instance the shim was called on.
+    arr = _sample(get_compressor("gorilla"))
+    blob = compress_array(arr, "gorilla", chunk_elements=1024)
+    np.testing.assert_array_equal(
+        decompress_array(blob).view(np.uint64), arr.view(np.uint64)
+    )

@@ -1,0 +1,81 @@
+"""End-to-end tests for the streaming CLI surface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def npy(tmp_path):
+    path = tmp_path / "field.npy"
+    rng = np.random.default_rng(3)
+    np.save(path, np.cumsum(rng.normal(0, 1, (40, 500)), axis=1))
+    return path
+
+
+@pytest.mark.smoke
+def test_compress_decompress_roundtrip(tmp_path, npy, capsys):
+    fcf = tmp_path / "field.fcf"
+    back = tmp_path / "back.npy"
+    assert main(["compress", str(npy), str(fcf), "--codec", "gorilla",
+                 "--chunk-elements", "4096", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "20000 elements" in out and "codec gorilla" in out
+    assert main(["decompress", str(fcf), str(back)]) == 0
+    original = np.load(npy)
+    restored = np.load(back)
+    assert restored.shape == original.shape
+    np.testing.assert_array_equal(
+        restored.view(np.uint64), original.view(np.uint64)
+    )
+
+
+def test_inspect_json(tmp_path, npy, capsys):
+    fcf = tmp_path / "field.fcf"
+    main(["compress", str(npy), str(fcf), "--codec", "chimp",
+          "--chunk-elements", "2048", "--quiet"])
+    assert capsys.readouterr().out == ""
+    assert main(["inspect", str(fcf), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["codec"] == "chimp"
+    assert payload["shape"] == [40, 500]
+    assert payload["n_chunks"] == 10
+    assert sum(c["n_elements"] for c in payload["chunks"]) == 20000
+    assert payload["raw_bytes"] == 160000
+
+
+def test_unknown_codec_is_a_usage_error(tmp_path, npy):
+    assert main(["compress", str(npy), str(tmp_path / "x.fcf"),
+                 "--codec", "gzip"]) == 2
+
+
+def test_compress_rejects_integer_npy(tmp_path):
+    path = tmp_path / "ints.npy"
+    np.save(path, np.arange(10))
+    assert main(["compress", str(path), str(tmp_path / "x.fcf")]) == 2
+
+
+def test_decompress_rejects_non_fcf(tmp_path):
+    junk = tmp_path / "junk.fcf"
+    junk.write_bytes(b"this is not a frame stream at all")
+    assert main(["decompress", str(junk), str(tmp_path / "y.npy")]) == 2
+    assert main(["inspect", str(junk)]) == 2
+
+
+def test_list_json_registry_dump(capsys):
+    assert main(["list", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["methods"]) == 14
+    gorilla = next(m for m in payload["methods"] if m["name"] == "gorilla")
+    # Full MethodInfo row, machine-readable.
+    assert gorilla["display_name"] == "Gorilla"
+    assert set(gorilla) >= {"name", "display_name", "year", "domain",
+                            "precisions", "platform", "parallelism",
+                            "language", "trait", "predictor_family"}
+    assert len(payload["datasets"]) == 33
+    assert all("name" in d and "domain" in d for d in payload["datasets"])
+    assert "none" in payload["frame_codecs"]
+    assert len(payload["frame_codecs"]) == 16

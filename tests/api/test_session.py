@@ -1,0 +1,238 @@
+"""Tests for the streaming compression sessions."""
+
+import io
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CompressSession,
+    DecompressSession,
+    compress_array,
+    decompress_array,
+    open_stream,
+)
+from repro.errors import (
+    CorruptStreamError,
+    StreamClosedError,
+    UnsupportedDtypeError,
+)
+
+
+@pytest.fixture
+def signal():
+    rng = np.random.default_rng(7)
+    return np.cumsum(rng.normal(0, 0.1, 10_000))
+
+
+def test_roundtrip_in_memory(signal):
+    blob = compress_array(signal, "gorilla", chunk_elements=1024)
+    out = decompress_array(blob)
+    np.testing.assert_array_equal(out.view(np.uint64), signal.view(np.uint64))
+
+
+def test_roundtrip_multidim_shape(signal):
+    cube = signal[:9990].reshape(10, 3, 333)
+    blob = compress_array(cube, "chimp", chunk_elements=500)
+    out = decompress_array(blob)
+    assert out.shape == cube.shape
+    np.testing.assert_array_equal(out.view(np.uint64), cube.view(np.uint64))
+
+
+def test_incremental_writes_equal_single_write(signal):
+    whole = compress_array(signal, "chimp", chunk_elements=700)
+    buf = io.BytesIO()
+    session = CompressSession(buf, "chimp", np.float64, chunk_elements=700)
+    for start in range(0, signal.size, 333):  # misaligned with chunking
+        session.write(signal[start : start + 333])
+    session.close()
+    assert buf.getvalue() == whole
+
+
+def test_read_ranges_match_numpy_slicing(signal):
+    blob = compress_array(signal, "gorilla", chunk_elements=512)
+    with DecompressSession(blob) as session:
+        for start, stop in [(0, 10), (500, 600), (511, 513), (1024, 4096),
+                            (9_990, 10_000), (0, 10_000)]:
+            window = session.read(start, stop)
+            np.testing.assert_array_equal(
+                window.view(np.uint64), signal[start:stop].view(np.uint64)
+            )
+
+
+def test_read_clamps_out_of_range(signal):
+    blob = compress_array(signal[:100], "none")
+    with DecompressSession(blob) as session:
+        assert session.read(90, 10**9).size == 10
+        assert session.read(200, 300).size == 0
+        assert session.read(-5, 3).size == 3
+
+
+def test_chunk_iteration_is_in_order(signal):
+    blob = compress_array(signal, "chimp", chunk_elements=999)
+    with DecompressSession(blob) as session:
+        pieces = list(session)
+        assert [p.size for p in pieces[:-1]] == [999] * (len(pieces) - 1)
+        np.testing.assert_array_equal(
+            np.concatenate(pieces).view(np.uint64), signal.view(np.uint64)
+        )
+
+
+def test_file_stream_roundtrip(tmp_path, signal):
+    path = tmp_path / "sig.fcf"
+    with open_stream(path, "wb", codec="gorilla", chunk_elements=2048) as out:
+        out.write(signal)
+    with open_stream(path) as stream:
+        assert stream.codec_name == "gorilla"
+        assert stream.shape == (signal.size,)
+        out = stream.read_all()
+    np.testing.assert_array_equal(out.view(np.uint64), signal.view(np.uint64))
+
+
+def test_open_stream_write_requires_codec(tmp_path):
+    with pytest.raises(ValueError, match="codec"):
+        open_stream(tmp_path / "x.fcf", "wb")
+    with pytest.raises(ValueError, match="mode"):
+        open_stream(tmp_path / "x.fcf", "ab", codec="chimp")
+
+
+def test_float32_stream(signal):
+    f32 = signal.astype(np.float32)
+    blob = compress_array(f32, "bitshuffle-lz4", chunk_elements=1000)
+    out = decompress_array(blob)
+    assert out.dtype == np.float32
+    np.testing.assert_array_equal(out.view(np.uint32), f32.view(np.uint32))
+
+
+def test_float32_through_double_only_codec(signal):
+    f32 = signal[:777].astype(np.float32)
+    blob = compress_array(f32, "pfpc", chunk_elements=100)  # odd tails
+    out = decompress_array(blob)
+    assert out.dtype == np.float32
+    np.testing.assert_array_equal(out.view(np.uint32), f32.view(np.uint32))
+
+
+def test_empty_stream():
+    blob = compress_array(np.empty(0), "chimp")
+    with DecompressSession(blob) as session:
+        assert session.n_chunks == 0
+        assert session.read_all().size == 0
+
+
+def test_dtype_mismatch_rejected(signal):
+    buf = io.BytesIO()
+    session = CompressSession(buf, "chimp", np.float64)
+    with pytest.raises(UnsupportedDtypeError, match="float32"):
+        session.write(signal.astype(np.float32))
+    with pytest.raises(UnsupportedDtypeError):
+        CompressSession(io.BytesIO(), "chimp", np.int64)
+
+
+def test_write_after_close_rejected(signal):
+    buf = io.BytesIO()
+    session = CompressSession(buf, "chimp", np.float64)
+    session.write(signal[:10])
+    session.close()
+    with pytest.raises(StreamClosedError):
+        session.write(signal[:10])
+
+
+def test_shape_must_match_written_elements(signal):
+    buf = io.BytesIO()
+    session = CompressSession(buf, "chimp", np.float64, shape=(3, 5))
+    session.write(signal[:14])
+    with pytest.raises(ValueError, match="declares"):
+        session.close()
+
+
+def test_aborted_write_leaves_unreadable_stream(tmp_path, signal):
+    path = tmp_path / "broken.fcf"
+    with pytest.raises(RuntimeError, match="simulated"):
+        with open_stream(path, "wb", codec="chimp") as out:
+            out.write(signal[:100])
+            raise RuntimeError("simulated producer crash")
+    with pytest.raises(CorruptStreamError):
+        open_stream(path)
+
+
+def test_bytes_read_accounting(signal):
+    blob = compress_array(signal, "gorilla", chunk_elements=1024)
+    with DecompressSession(blob) as session:
+        assert session.bytes_read == 0
+        session.read(0, 1)  # one chunk only
+        assert session.bytes_read == session.frames[0].compressed_bytes
+        session.read()
+        assert session.bytes_read >= session.compressed_bytes
+
+
+def test_parallel_decode_matches_serial(signal):
+    blob = compress_array(signal, "chimp", chunk_elements=512)
+    serial = decompress_array(blob)
+    parallel = decompress_array(blob, jobs=3)
+    np.testing.assert_array_equal(
+        serial.view(np.uint64), parallel.view(np.uint64)
+    )
+
+
+def test_compressor_instance_as_codec(signal):
+    from repro.compressors import get_compressor
+
+    comp = get_compressor("gorilla")
+    blob = compress_array(signal[:500], comp)
+    assert decompress_array(blob).size == 500
+
+
+def test_unknown_codec_name_lists_known():
+    with pytest.raises(KeyError, match="known"):
+        compress_array(np.zeros(4), "gzip")
+
+
+def test_write_snapshots_caller_buffer():
+    # The TSDB ingest pattern: one reused scratch buffer per arriving
+    # batch.  Deferred (batched) compression must not alias it.
+    scratch = np.empty(4096)
+    buf = io.BytesIO()
+    with CompressSession(buf, "none", np.float64, chunk_elements=4096) as s:
+        for i in range(8):
+            scratch[:] = float(i)
+            s.write(scratch)
+    out = decompress_array(buf.getvalue())
+    expected = np.repeat(np.arange(8.0), 4096)
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_shape_mismatch_on_owned_file_still_closes_it(tmp_path):
+    session = open_stream(
+        tmp_path / "short.fcf", "wb", codec="none", shape=(100,)
+    )
+    with pytest.raises(ValueError, match="declares"):
+        with session:
+            session.write(np.zeros(50))
+    assert session._fh.closed
+    with pytest.raises(CorruptStreamError):
+        open_stream(tmp_path / "short.fcf")
+
+
+def test_raw_codec_chunks_are_writable():
+    blob = compress_array(np.zeros(100), "none", chunk_elements=40)
+    with DecompressSession(blob) as session:
+        for chunk in session:
+            chunk += 1.0  # must not raise "read-only"
+        window = session.read(10, 20)
+        window *= 2.0
+
+
+def test_unpicklable_codec_falls_back_to_serial():
+    from repro.compressors import get_compressor
+
+    comp = get_compressor("gorilla")
+    comp.diary = open(os.devnull, "w")  # unpicklable instance state
+    arr = np.cumsum(np.random.default_rng(0).normal(0, 1, 4000))
+    try:
+        blob = compress_array(arr, comp, chunk_elements=512, jobs=2)
+    finally:
+        comp.diary.close()
+    np.testing.assert_array_equal(
+        decompress_array(blob).view(np.uint64), arr.view(np.uint64)
+    )
