@@ -6,8 +6,6 @@ for the 11 datasets above its 512 MB limit; astro-mhd is the outlier
 column with double-digit ratios.
 """
 
-import numpy as np
-
 from repro.core.experiments import table4_cr_matrix
 
 

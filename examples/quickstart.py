@@ -12,8 +12,6 @@ from __future__ import annotations
 
 import sys
 
-import numpy as np
-
 from repro.compressors import get_compressor, paper_table_order
 from repro.core.report import format_table
 from repro.core.runner import BenchmarkRunner

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.compressors import get_compressor, paper_table_order
 from repro.core.report import format_table
-from repro.perf.roofline import analyze, cpu_roof_gops, gpu_roof_gops
+from repro.perf.roofline import analyze
 
 
 def main() -> None:

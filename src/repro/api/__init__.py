@@ -12,9 +12,11 @@ guide.
 """
 
 from repro.api.frames import (
+    AUTO_CODEC,
     DEFAULT_CHUNK_ELEMENTS,
     END_MAGIC,
     FOOTER_BYTES,
+    FORMAT_V2,
     FORMAT_VERSION,
     FRAME_MAGIC,
     RAW_CODEC,
@@ -32,11 +34,13 @@ from repro.api.session import (
 )
 
 __all__ = [
+    "AUTO_CODEC",
     "CompressSession",
     "DecompressSession",
     "DEFAULT_CHUNK_ELEMENTS",
     "END_MAGIC",
     "FOOTER_BYTES",
+    "FORMAT_V2",
     "FORMAT_VERSION",
     "FRAME_MAGIC",
     "FrameInfo",

@@ -14,9 +14,12 @@ Layout (all integers LEB128 varints unless noted)::
     | header   magic b"FCF1" | version u8 | dtype u8               |
     |          codec-name length + UTF-8 bytes                     |
     |          chunk_elements hint (0 = irregular)                 |
+    |          v2 only: codec table (n_codecs | per codec:         |
+    |          name length + UTF-8 bytes)                          |
     +--------------------------------------------------------------+
     | frames   chunk 0 payload | chunk 1 payload | ...             |
-    |          (raw codec output, no per-chunk re-headering)       |
+    |          v1: raw codec output, no per-chunk re-headering     |
+    |          v2: codec-table index varint, then raw codec output |
     +--------------------------------------------------------------+
     | index    n_chunks | per chunk: n_elements, compressed_bytes, |
     |          crc32 of the payload                                |
@@ -28,6 +31,14 @@ Layout (all integers LEB128 varints unless noted)::
 The footer is fixed-size, so a reader finds the index by seeking from
 the end of the stream; frames are contiguous, so chunk byte offsets are
 prefix sums of the index entries.
+
+Format version 2 is the *mixed-codec* extension behind the ``auto``
+pseudo-codec (:mod:`repro.select`): the header carries a codec table
+and every frame leads with a varint index into it, so each chunk can be
+compressed by the codec a selection policy picked for it.  Version 1 is
+still written whenever a concrete codec is requested, byte-for-byte
+identical to before — v2 only appears when the writer asked for
+adaptive selection.
 
 This module also owns the *legacy* single-shot framing (magic ``0xFC``
 header + one payload) that :meth:`repro.compressors.base.Compressor.compress`
@@ -51,6 +62,8 @@ __all__ = [
     "FRAME_MAGIC",
     "END_MAGIC",
     "FORMAT_VERSION",
+    "FORMAT_V2",
+    "AUTO_CODEC",
     "FOOTER_BYTES",
     "RAW_CODEC",
     "DEFAULT_CHUNK_ELEMENTS",
@@ -64,6 +77,8 @@ __all__ = [
     "read_layout",
     "encode_payload",
     "decode_payload",
+    "split_frame_codec",
+    "decode_mixed_frame",
     "check_declared_count",
     "encode_legacy_frame",
     "decode_legacy_header",
@@ -73,6 +88,10 @@ __all__ = [
 FRAME_MAGIC = b"FCF1"
 END_MAGIC = b"1FCF"
 FORMAT_VERSION = 1
+#: The mixed-codec format: header codec table + per-frame codec index.
+FORMAT_V2 = 2
+#: The adaptive pseudo-codec name carried by v2 stream headers.
+AUTO_CODEC = "auto"
 #: Fixed-size trailer: u64 index length + end magic.
 FOOTER_BYTES = 12
 #: The identity codec: frames hold raw little-endian element bytes.
@@ -83,6 +102,12 @@ DEFAULT_CHUNK_ELEMENTS = 1 << 16
 _LEGACY_MAGIC = 0xFC
 _MAX_RANK = 8
 _MAX_CODEC_NAME = 64
+#: Upper bound on v2 codec-table entries (far above the registry size).
+_MAX_CODEC_TABLE = 32
+#: Enough bytes to hold any legal header, v1 or v2 with a full table.
+_MAX_HEADER_BYTES = (
+    16 + _MAX_CODEC_NAME + 2 + _MAX_CODEC_TABLE * (2 + _MAX_CODEC_NAME)
+)
 _DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
 _CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
 
@@ -118,56 +143,103 @@ def resolve_codec(name: str):
 # ----------------------------------------------------------------------
 # Header
 # ----------------------------------------------------------------------
+def _encode_name(name: str, what: str) -> bytes:
+    encoded = name.encode()
+    if not encoded or len(encoded) > _MAX_CODEC_NAME:
+        raise ValueError(f"bad {what} {name!r}")
+    return encode_uvarint(len(encoded)) + encoded
+
+
+def _decode_name(buf, pos: int, what: str) -> tuple[str, int]:
+    name_len, pos = decode_uvarint(buf, pos)
+    if not 0 < name_len <= _MAX_CODEC_NAME:
+        raise CorruptStreamError(f"implausible {what} length {name_len}")
+    if pos + name_len > len(buf):
+        raise CorruptStreamError(f"truncated {what} in FCF header")
+    try:
+        name = bytes(buf[pos : pos + name_len]).decode()
+    except UnicodeDecodeError as exc:
+        raise CorruptStreamError(f"undecodable {what} in FCF header") from exc
+    return name, pos + name_len
+
+
 @dataclass(frozen=True)
 class StreamHeader:
-    """Stream-wide metadata, written once at offset 0."""
+    """Stream-wide metadata, written once at offset 0.
+
+    ``version`` selects the layout: 1 is the single-codec format
+    (``codec_table`` must be empty), 2 the mixed-codec format whose
+    ``codec_table`` names every codec the per-frame indices may
+    reference (``codec`` then records the requested pseudo-codec,
+    normally :data:`AUTO_CODEC`).
+    """
 
     codec: str
     dtype: np.dtype
     chunk_elements: int  # 0 = irregular / unknown frame granularity
+    version: int = FORMAT_VERSION
+    codec_table: tuple[str, ...] = ()
 
     def encode(self) -> bytes:
         dtype = np.dtype(self.dtype)
         if dtype not in _DTYPE_CODES:
             raise ValueError(f"FCF streams hold float32/float64, got {dtype}")
-        name = self.codec.encode()
-        if not name or len(name) > _MAX_CODEC_NAME:
-            raise ValueError(f"bad codec name {self.codec!r}")
-        return b"".join(
-            [
-                FRAME_MAGIC,
-                bytes([FORMAT_VERSION, _DTYPE_CODES[dtype]]),
-                encode_uvarint(len(name)),
-                name,
-                encode_uvarint(self.chunk_elements),
-            ]
-        )
+        if self.version == FORMAT_VERSION:
+            if self.codec_table:
+                raise ValueError("v1 headers carry no codec table")
+        elif self.version == FORMAT_V2:
+            if not 0 < len(self.codec_table) <= _MAX_CODEC_TABLE:
+                raise ValueError(
+                    f"v2 codec table must hold 1..{_MAX_CODEC_TABLE} "
+                    f"entries, got {len(self.codec_table)}"
+                )
+            if len(set(self.codec_table)) != len(self.codec_table):
+                raise ValueError("v2 codec table holds duplicate names")
+        else:
+            raise ValueError(f"unknown FCF format version {self.version}")
+        parts = [
+            FRAME_MAGIC,
+            bytes([self.version, _DTYPE_CODES[dtype]]),
+            _encode_name(self.codec, "codec name"),
+            encode_uvarint(self.chunk_elements),
+        ]
+        if self.version == FORMAT_V2:
+            parts.append(encode_uvarint(len(self.codec_table)))
+            for name in self.codec_table:
+                parts.append(_encode_name(name, "codec table entry"))
+        return b"".join(parts)
 
     @staticmethod
     def decode(buf) -> tuple["StreamHeader", int]:
         """Parse a header from the start of ``buf``; returns (header, size)."""
         if len(buf) < 6 or bytes(buf[:4]) != FRAME_MAGIC:
             raise CorruptStreamError("not an FCF stream (bad magic)")
-        if buf[4] != FORMAT_VERSION:
+        version = buf[4]
+        if version not in (FORMAT_VERSION, FORMAT_V2):
             raise CorruptStreamError(
-                f"unsupported FCF format version {buf[4]} "
-                f"(this reader speaks version {FORMAT_VERSION})"
+                f"unsupported FCF format version {version} "
+                f"(this reader speaks versions {FORMAT_VERSION}-{FORMAT_V2})"
             )
         dtype = _CODE_DTYPES.get(buf[5])
         if dtype is None:
             raise CorruptStreamError(f"unknown dtype code {buf[5]} in FCF header")
-        name_len, pos = decode_uvarint(buf, 6)
-        if not 0 < name_len <= _MAX_CODEC_NAME:
-            raise CorruptStreamError(f"implausible codec name length {name_len}")
-        if pos + name_len > len(buf):
-            raise CorruptStreamError("truncated codec name in FCF header")
-        try:
-            codec = bytes(buf[pos : pos + name_len]).decode()
-        except UnicodeDecodeError as exc:
-            raise CorruptStreamError("undecodable codec name in FCF header") from exc
-        pos += name_len
+        codec, pos = _decode_name(buf, 6, "codec name")
         chunk_elements, pos = decode_uvarint(buf, pos)
-        return StreamHeader(codec, dtype, chunk_elements), pos
+        codec_table: tuple[str, ...] = ()
+        if version == FORMAT_V2:
+            n_codecs, pos = decode_uvarint(buf, pos)
+            if not 0 < n_codecs <= _MAX_CODEC_TABLE:
+                raise CorruptStreamError(
+                    f"implausible codec table size {n_codecs} in FCF header"
+                )
+            names = []
+            for _ in range(n_codecs):
+                name, pos = _decode_name(buf, pos, "codec table entry")
+                names.append(name)
+            if len(set(names)) != len(names):
+                raise CorruptStreamError("duplicate codec table entries")
+            codec_table = tuple(names)
+        return StreamHeader(codec, dtype, chunk_elements, version, codec_table), pos
 
 
 # ----------------------------------------------------------------------
@@ -298,7 +370,7 @@ def read_layout(fh) -> tuple[StreamHeader, StreamIndex, int]:
             f"index length {index_length} exceeds stream size {total}"
         )
     fh.seek(0)
-    head = fh.read(min(total, 16 + _MAX_CODEC_NAME))
+    head = fh.read(min(total, _MAX_HEADER_BYTES))
     header, data_start = StreamHeader.decode(head)
     index_start = total - FOOTER_BYTES - index_length
     if index_start < data_start:
@@ -390,6 +462,17 @@ def _run_decoder(compressor, payload, shape: tuple[int, ...], dtype) -> np.ndarr
     return decoded
 
 
+def _check_crc(payload, crc32: int | None) -> None:
+    if crc32 is None:
+        return
+    actual = zlib.crc32(payload) & 0xFFFFFFFF
+    if actual != crc32:
+        raise CorruptStreamError(
+            f"frame checksum mismatch: index says {crc32:#010x}, "
+            f"payload hashes to {actual:#010x}"
+        )
+
+
 def decode_payload(
     compressor, payload, n_elements: int, dtype, crc32: int | None = None
 ) -> np.ndarray:
@@ -401,13 +484,7 @@ def decode_payload(
     into silently different data.
     """
     dtype = np.dtype(dtype)
-    if crc32 is not None:
-        actual = zlib.crc32(payload) & 0xFFFFFFFF
-        if actual != crc32:
-            raise CorruptStreamError(
-                f"frame checksum mismatch: index says {crc32:#010x}, "
-                f"payload hashes to {actual:#010x}"
-            )
+    _check_crc(payload, crc32)
     if compressor is None:
         if len(payload) != n_elements * dtype.itemsize:
             raise CorruptStreamError(
@@ -429,6 +506,38 @@ def decode_payload(
     if decode_dtype != dtype:
         decoded = decoded.view(dtype)[:n_elements]
     return decoded
+
+
+# ----------------------------------------------------------------------
+# Mixed-codec frames (format v2, the `auto` pseudo-codec)
+# ----------------------------------------------------------------------
+def split_frame_codec(payload, n_codecs: int) -> tuple[int, "memoryview | bytes"]:
+    """Strip a v2 frame's leading codec-table index.
+
+    Returns ``(codec_index, codec_payload)``.  The index came from
+    stream bytes, so an out-of-table value means corruption, not a
+    caller bug.
+    """
+    index, pos = decode_uvarint(payload, 0)
+    if index >= n_codecs:
+        raise CorruptStreamError(
+            f"frame names codec-table entry {index}, table holds {n_codecs}"
+        )
+    return index, payload[pos:]
+
+
+def decode_mixed_frame(
+    compressors: tuple, payload, n_elements: int, dtype, crc32: int | None = None
+) -> np.ndarray:
+    """Decode one v2 frame: CRC over the full frame bytes, then the
+    codec-table index, then the payload under the selected codec.
+
+    ``compressors`` is the resolved codec table (``None`` entries for
+    the identity codec), index-aligned with the header's names.
+    """
+    _check_crc(payload, crc32)
+    index, codec_payload = split_frame_codec(payload, len(compressors))
+    return decode_payload(compressors[index], codec_payload, n_elements, dtype)
 
 
 # ----------------------------------------------------------------------

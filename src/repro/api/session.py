@@ -33,23 +33,29 @@ from __future__ import annotations
 import io
 import os
 import zlib
-from functools import partial
+from collections import Counter
+from functools import lru_cache, partial
 
 import numpy as np
 
 from repro.api import frames as _frames
 from repro.api.frames import (
+    AUTO_CODEC,
     DEFAULT_CHUNK_ELEMENTS,
+    FORMAT_V2,
+    FORMAT_VERSION,
     RAW_CODEC,
     FrameInfo,
     StreamHeader,
+    decode_mixed_frame,
     decode_payload,
     encode_payload,
     read_layout,
     resolve_codec,
 )
 from repro.core.executor import map_ordered, resolve_jobs
-from repro.errors import StreamClosedError, UnsupportedDtypeError
+from repro.encodings.varint import decode_uvarint, encode_uvarint
+from repro.errors import SelectionError, StreamClosedError, UnsupportedDtypeError
 
 __all__ = [
     "CompressSession",
@@ -72,6 +78,39 @@ def _resolve_writer_codec(codec) -> tuple[str, object]:
     return codec, get_compressor(codec)  # KeyError lists known names
 
 
+def _is_auto_codec(codec) -> bool:
+    """True for the ``auto`` pseudo-codec or a policy instance."""
+    from repro.select.policy import SelectionPolicy
+
+    return codec == AUTO_CODEC or isinstance(codec, SelectionPolicy)
+
+
+def _encode_auto_frame(policy, codec_table: tuple[str, ...], chunk) -> bytes:
+    """Select a codec for ``chunk`` and encode one v2 frame.
+
+    Top-level (picklable) so the chunk-parallel path can ship it to
+    workers; the policy is a pure function of the chunk bytes, so the
+    parallel stream stays byte-identical to the serial one.
+    """
+    from repro.select.policy import codec_instance
+
+    name = policy.select(chunk)
+    try:
+        index = codec_table.index(name)
+    except ValueError:
+        raise SelectionError(
+            f"policy {policy.name!r} chose {name!r}, which is not in the "
+            f"stream codec table {codec_table}"
+        ) from None
+    return encode_uvarint(index) + encode_payload(codec_instance(name), chunk)
+
+
+@lru_cache(maxsize=None)
+def _resolved_table(codec_table: tuple[str, ...]) -> tuple:
+    """Per-process memo of a v2 codec table's compressor instances."""
+    return tuple(resolve_codec(name) for name in codec_table)
+
+
 class CompressSession:
     """Incrementally compress a float stream into FCF frames.
 
@@ -82,8 +121,11 @@ class CompressSession:
         immediately and the index/footer on :meth:`close`; it never
         closes a file object it did not open (see :func:`open_stream`).
     codec:
-        Registered method name, a ``Compressor`` instance, or
-        ``"none"``/``None`` for raw storage.
+        Registered method name, a ``Compressor`` instance,
+        ``"none"``/``None`` for raw storage, or ``"auto"`` (equally, a
+        :class:`~repro.select.policy.SelectionPolicy` instance) for
+        adaptive per-chunk selection — the stream is then written in
+        format v2 with a codec table and per-frame codec ids.
     dtype:
         Element dtype of the stream (float32/float64).  Chunks written
         with any other dtype are rejected — resampling silently would
@@ -98,6 +140,11 @@ class CompressSession:
         Optional logical shape recorded in the index; defaults to the
         flat ``(total_elements,)``.  The element product must match the
         data actually written.
+    policy:
+        Selection policy for ``codec="auto"``: a policy name
+        (``"heuristic"``, ``"measured"``, ``"learned"``) or a
+        :class:`~repro.select.policy.SelectionPolicy` instance.
+        Ignored unless the codec is adaptive.
     """
 
     def __init__(
@@ -109,11 +156,25 @@ class CompressSession:
         chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
         jobs: int | None = None,
         shape: tuple[int, ...] | None = None,
+        policy="heuristic",
     ) -> None:
         if chunk_elements < 1:
             raise ValueError("chunk_elements must be positive")
         self._fh = fileobj
-        self.codec_name, self._compressor = _resolve_writer_codec(codec)
+        self._policy = None
+        self._codec_table: tuple[str, ...] = ()
+        #: Frames written per selected codec (auto streams only).
+        self.codec_frames: Counter[str] = Counter()
+        if _is_auto_codec(codec):
+            from repro.select.policy import codec_instance, resolve_policy
+
+            self._policy = resolve_policy(codec if codec != AUTO_CODEC else policy)
+            self._codec_table = tuple(self._policy.candidates)
+            for name in self._codec_table:
+                codec_instance(name)  # KeyError here lists known names
+            self.codec_name, self._compressor = AUTO_CODEC, None
+        else:
+            self.codec_name, self._compressor = _resolve_writer_codec(codec)
         self.dtype = np.dtype(dtype)
         if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
             raise UnsupportedDtypeError(
@@ -134,7 +195,18 @@ class CompressSession:
         self._partial_count = 0
         self._queue: list[np.ndarray] = []
         self._flush_batch = 4 * max(1, resolve_jobs(jobs))
-        header = StreamHeader(self.codec_name, self.dtype, self.chunk_elements)
+        if self._policy is not None:
+            self.format_version = FORMAT_V2
+            header = StreamHeader(
+                self.codec_name,
+                self.dtype,
+                self.chunk_elements,
+                version=FORMAT_V2,
+                codec_table=self._codec_table,
+            )
+        else:
+            self.format_version = FORMAT_VERSION
+            header = StreamHeader(self.codec_name, self.dtype, self.chunk_elements)
         self._data_start = len(header.encode())
         self._fh.write(header.encode())
 
@@ -182,10 +254,15 @@ class CompressSession:
     def _flush_queue(self) -> None:
         if not self._queue:
             return
-        payloads = map_ordered(
-            partial(encode_payload, self._compressor), self._queue, jobs=self.jobs
-        )
+        if self._policy is not None:
+            encode = partial(_encode_auto_frame, self._policy, self._codec_table)
+        else:
+            encode = partial(encode_payload, self._compressor)
+        payloads = map_ordered(encode, self._queue, jobs=self.jobs)
         for chunk, payload in zip(self._queue, payloads):
+            if self._policy is not None:
+                index, _ = decode_uvarint(payload, 0)
+                self.codec_frames[self._codec_table[index]] += 1
             self._fh.write(payload)
             self.frames.append(
                 FrameInfo(
@@ -289,9 +366,19 @@ class DecompressSession:
         self.codec_name = header.codec
         self.dtype = header.dtype
         self.chunk_elements = header.chunk_elements
+        self.format_version = header.version
+        self.codec_table = header.codec_table
         self.frames = index.frames
         self.shape = index.shape
-        self._compressor = resolve_codec(header.codec)
+        if header.version == FORMAT_V2:
+            # Mixed-codec stream: frames carry their own codec ids; an
+            # unknown table entry is unreadable, surfaced here exactly
+            # like an unknown v1 header codec.
+            self._compressor = None
+            self._compressors = _resolved_table(header.codec_table)
+        else:
+            self._compressor = resolve_codec(header.codec)
+            self._compressors = ()
         # Cumulative element offsets: frame i spans [starts[i], starts[i+1]).
         self._starts = np.zeros(len(self.frames) + 1, dtype=np.int64)
         np.cumsum([f.n_elements for f in self.frames], out=self._starts[1:])
@@ -335,19 +422,52 @@ class DecompressSession:
 
     def _decode_frames(self, views: list) -> list[np.ndarray]:
         jobs = resolve_jobs(self.jobs)
+        mixed = self.format_version == FORMAT_V2
         if jobs > 1 and len(views) > 1:
             # Workers need picklable payloads; the copy is the price of
             # fan-out (the serial path below stays zero-copy).
             items = [(bytes(payload), n, crc) for payload, n, crc in views]
-            return map_ordered(
-                partial(_decode_item, self._compressor, self.dtype),
-                items,
-                jobs=jobs,
+            worker = (
+                partial(_decode_item_mixed, self.codec_table, self.dtype)
+                if mixed
+                else partial(_decode_item, self._compressor, self.dtype)
             )
+            return map_ordered(worker, items, jobs=jobs)
+        if mixed:
+            return [
+                decode_mixed_frame(self._compressors, payload, n, self.dtype, crc)
+                for payload, n, crc in views
+            ]
         return [
             decode_payload(self._compressor, payload, n, self.dtype, crc)
             for payload, n, crc in views
         ]
+
+    def frame_codec_names(self) -> list[str]:
+        """The codec that compressed each frame, in frame order.
+
+        Uniformly the header codec for v1 streams; for v2 the leading
+        codec id of every frame is read (a few bytes per frame, no
+        payload decode).
+        """
+        if self.format_version != FORMAT_V2:
+            return [self.codec_name] * len(self.frames)
+        if self._closed:
+            raise StreamClosedError("read on a closed DecompressSession")
+        names = []
+        for frame in self.frames:
+            self._fh.seek(frame.offset)
+            head = self._fh.read(min(10, frame.compressed_bytes))
+            index, _ = decode_uvarint(head, 0)
+            if index >= len(self.codec_table):
+                from repro.errors import CorruptStreamError
+
+                raise CorruptStreamError(
+                    f"frame names codec-table entry {index}, "
+                    f"table holds {len(self.codec_table)}"
+                )
+            names.append(self.codec_table[index])
+        return names
 
     def chunks(self):
         """Iterate decoded chunks in order with bounded memory."""
@@ -404,6 +524,15 @@ def _decode_item(compressor, dtype, item) -> np.ndarray:
     return decode_payload(compressor, payload, n_elements, dtype, crc32)
 
 
+def _decode_item_mixed(codec_table, dtype, item) -> np.ndarray:
+    """Parallel-decode worker for v2 frames (resolves the table once
+    per process via the memo)."""
+    payload, n_elements, crc32 = item
+    return decode_mixed_frame(
+        _resolved_table(tuple(codec_table)), payload, n_elements, dtype, crc32
+    )
+
+
 # ----------------------------------------------------------------------
 # Convenience wrappers
 # ----------------------------------------------------------------------
@@ -416,12 +545,15 @@ def open_stream(
     chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
     jobs: int | None = None,
     shape: tuple[int, ...] | None = None,
+    policy="heuristic",
 ):
     """Open an FCF file for streaming, like :func:`open` for arrays.
 
     ``mode="rb"`` returns a :class:`DecompressSession`; ``mode="wb"``
-    returns a :class:`CompressSession` (``codec`` required).  Both own
-    the underlying file and close it with the session.
+    returns a :class:`CompressSession` (``codec`` required; pass
+    ``codec="auto"`` with an optional ``policy=`` for adaptive
+    per-chunk selection).  Both own the underlying file and close it
+    with the session.
     """
     if mode == "rb":
         return DecompressSession(os.fspath(path), jobs=jobs)
@@ -438,6 +570,7 @@ def open_stream(
             chunk_elements=chunk_elements,
             jobs=jobs,
             shape=shape,
+            policy=policy,
         )
     except BaseException:
         fh.close()
@@ -452,6 +585,7 @@ def compress_array(
     *,
     chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
     jobs: int | None = None,
+    policy="heuristic",
 ) -> bytes:
     """Compress a whole array into an in-memory FCF stream."""
     array = np.asarray(array)
@@ -463,6 +597,7 @@ def compress_array(
         chunk_elements=chunk_elements,
         jobs=jobs,
         shape=array.shape,
+        policy=policy,
     )
     session.write(array)
     session.close()

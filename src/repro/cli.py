@@ -19,6 +19,12 @@ Subcommands:
   surface: turn a ``.npy`` array into a seekable ``.fcf`` frame stream
   (``--codec``, ``--chunk-elements``, ``--jobs``), restore it
   bit-exactly, or print a stream's header and chunk index.
+  ``--codec auto`` selects a codec per chunk (``--policy
+  heuristic|measured|learned``) and writes a mixed-codec v2 stream.
+* ``fcbench select`` — the selection subsystem offline: ``explain``
+  prints per-chunk features, the chosen codec, and the reason;
+  ``train`` fits the learned policy's feature → winner table from the
+  suite cache.
 * ``fcbench list``   — enumerate the registered methods and datasets
   (``--json`` for machine-readable registry introspection).
 
@@ -46,6 +52,7 @@ Stream a ``.npy`` array into the frame format and back, bit-exactly:
     0
     >>> main(["inspect", npy + ".fcf"])  # doctest: +ELLIPSIS
     codec            gorilla
+    version          1
     dtype            float64
     shape            3x1000
     chunk elements   1024
@@ -264,6 +271,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     def on_cell(cell: dict) -> None:
         if args.quiet:
             return
+        if "auto_cr" in cell:
+            chunks = ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(cell["frame_codecs"].items())
+            )
+            print(
+                f"{cell['dataset']:<14} auto/{cell['policy']:<9} "
+                f"CR {cell['auto_cr']:6.3f} = "
+                f"{cell['fraction_of_best'] * 100:5.1f}% of best fixed "
+                f"({cell['best_fixed_method']} {cell['best_fixed_cr']:.3f}) "
+                f"[{chunks}]",
+                flush=True,
+            )
+            return
         speedup = cell.get("encode_speedup_vs_scalar")
         extra = f"  {speedup:5.1f}x vs scalar" if speedup else ""
         print(
@@ -280,6 +301,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         oracle=not args.no_oracle,
         guard=not args.no_guard,
+        auto=args.auto,
         seed=args.seed,
         on_cell=on_cell,
     )
@@ -314,20 +336,61 @@ def _load_npy(path: str):
     return array
 
 
-def _cmd_compress(args: argparse.Namespace) -> int:
-    from repro.api import available_codecs, open_stream
+def _build_policy(args: argparse.Namespace):
+    """Resolve the ``--policy`` family of flags into a policy instance."""
+    from repro.errors import SelectionError
+    from repro.select import resolve_policy
 
-    known = available_codecs()
+    options: dict = {}
+    if args.policy == "measured" and args.select_sample is not None:
+        options["sample_elements"] = args.select_sample
+    if args.policy == "learned" and args.select_table is not None:
+        options["table_path"] = args.select_table
+    try:
+        return resolve_policy(args.policy, **options)
+    except SelectionError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
+def _add_policy_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--policy",
+        default="heuristic",
+        choices=("heuristic", "measured", "learned"),
+        help="selection policy for the auto codec (default %(default)s)",
+    )
+    parser.add_argument(
+        "--select-sample",
+        type=int,
+        default=None,
+        help="measured policy: trial-compress this many leading elements "
+        "per chunk (default 2048)",
+    )
+    parser.add_argument(
+        "--select-table",
+        default=None,
+        help="learned policy: training table path "
+        "(default: the suite cache's select_table.json)",
+    )
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.api import AUTO_CODEC, available_codecs, open_stream
+
+    known = [*available_codecs(), AUTO_CODEC]
     if args.codec not in known:
         raise SystemExit(
             f"error: unknown codec {args.codec!r}\n"
             f"known codecs: {', '.join(known)}"
         )
+    codec = args.codec
+    if codec == AUTO_CODEC:
+        codec = _build_policy(args)
     array = _load_npy(args.input)
     out = open_stream(
         args.output,
         "wb",
-        codec=args.codec,
+        codec=codec,
         dtype=array.dtype,
         chunk_elements=args.chunk_elements,
         jobs=args.jobs,
@@ -340,10 +403,17 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
         compressed = os.path.getsize(args.output)
         ratio = out.raw_bytes / compressed if compressed else float("inf")
+        chosen = ""
+        if out.codec_frames:
+            counts = ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(out.codec_frames.items())
+            )
+            chosen = f" [{counts}]"
         print(
             f"{args.input} -> {args.output}: {array.size} elements in "
             f"{len(out.frames)} chunk(s), {out.raw_bytes} -> {compressed} "
-            f"bytes (ratio {ratio:.3f}, codec {args.codec})"
+            f"bytes (ratio {ratio:.3f}, codec {args.codec}){chosen}"
         )
     return 0
 
@@ -382,8 +452,11 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             dtype = stream.dtype
             raw = stream.n_elements * dtype.itemsize
             compressed = stream.compressed_bytes
+            frame_codecs = stream.frame_codec_names()
             payload = {
                 "codec": stream.codec_name,
+                "format_version": stream.format_version,
+                "codec_table": list(stream.codec_table),
                 "dtype": str(dtype),
                 "shape": list(stream.shape),
                 "chunk_elements": stream.chunk_elements,
@@ -397,8 +470,9 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                         "n_elements": f.n_elements,
                         "compressed_bytes": f.compressed_bytes,
                         "offset": f.offset,
+                        "codec": name,
                     }
-                    for f in stream.frames
+                    for f, name in zip(stream.frames, frame_codecs)
                 ],
             }
     except OSError as exc:
@@ -411,6 +485,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     ratio = payload["compression_ratio"]
     rows = [
         ("codec", payload["codec"]),
+        ("version", str(payload["format_version"])),
         ("dtype", payload["dtype"]),
         ("shape", "x".join(map(str, payload["shape"])) or "scalar"),
         ("chunk elements", str(payload["chunk_elements"])),
@@ -419,8 +494,124 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         ("compressed bytes", str(compressed)),
         ("ratio", f"{ratio:.3f}" if ratio else "inf"),
     ]
+    if payload["codec_table"]:
+        from collections import Counter
+
+        counts = Counter(frame_codecs)
+        rows.insert(
+            2,
+            (
+                "codec table",
+                ", ".join(
+                    f"{name} x{counts.get(name, 0)}"
+                    for name in payload["codec_table"]
+                ),
+            ),
+        )
     for key, value in rows:
         print(f"{key:<16} {value}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# fcbench select
+# ----------------------------------------------------------------------
+def _explain_input(args: argparse.Namespace):
+    """``select explain`` takes a .npy path or a catalog dataset name."""
+    import os
+
+    from repro.data.catalog import dataset_names
+    from repro.data.loader import load
+
+    if os.path.exists(args.input):
+        return _load_npy(args.input)
+    if args.input in dataset_names():
+        return load(args.input, args.target_elements, args.seed)
+    raise SystemExit(
+        f"error: {args.input!r} is neither a readable .npy file nor a "
+        "catalog dataset name (see `fcbench list --datasets`)"
+    )
+
+
+def _cmd_select_explain(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    import numpy as np
+
+    policy = _build_policy(args)
+    array = np.ascontiguousarray(_explain_input(args)).ravel()
+    step = max(1, args.chunk_elements)
+    decisions = []
+    for start in range(0, max(array.size, 1), step):
+        chunk = array[start : start + step]
+        if chunk.size == 0:
+            break
+        decisions.append((start, policy.decide(chunk)))
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "policy": policy.name,
+                    "candidates": list(policy.candidates),
+                    "chunks": [
+                        {
+                            "start": start,
+                            "codec": decision.codec,
+                            "reason": decision.reason,
+                            "features": dataclasses.asdict(decision.features),
+                        }
+                        for start, decision in decisions
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"policy {policy.name}  candidates: {', '.join(policy.candidates)}")
+    for index, (start, decision) in enumerate(decisions):
+        features = decision.features
+        print(
+            f"chunk {index:4d} @ {start:>10d}  -> {decision.codec:<16} "
+            f"({decision.reason})"
+        )
+        if args.verbose:
+            print(
+                f"            frac_unique={features.frac_unique:.3f} "
+                f"autocorr={features.lag1_autocorr:+.3f} "
+                f"byte_entropy={features.byte_entropy:.2f} "
+                f"xor_sig={features.xor_significant_fraction:.2f} "
+                f"decimals={features.decimal_digits}"
+            )
+    from collections import Counter
+
+    counts = Counter(decision.codec for _, decision in decisions)
+    summary = ", ".join(f"{k} x{v}" for k, v in sorted(counts.items()))
+    print(f"{len(decisions)} chunk(s): {summary}")
+    return 0
+
+
+def _cmd_select_train(args: argparse.Namespace) -> int:
+    from repro.errors import SelectionError
+    from repro.select import build_table, save_table
+
+    candidates = _csv(args.candidates)
+    if candidates is not None:
+        candidates = tuple(
+            _validate("methods", candidates, compressor_names()) or ()
+        )
+    try:
+        rows = build_table(candidates=candidates)
+    except SelectionError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    from collections import Counter
+
+    path = save_table(rows, args.output)
+    winners = Counter(row.winner for row in rows)
+    summary = ", ".join(f"{k} x{v}" for k, v in sorted(winners.items()))
+    print(f"trained on {len(rows)} cached dataset cell group(s): {summary}")
+    print(f"wrote {path}")
     return 0
 
 
@@ -612,6 +803,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the small regression-guard cells",
     )
     p_bench.add_argument(
+        "--auto",
+        action="store_true",
+        help="also measure the auto codec against the best fixed "
+        "candidate on one dataset per domain",
+    )
+    p_bench.add_argument(
         "--output", help="write the snapshot to this path instead"
     )
     p_bench.add_argument(
@@ -628,9 +825,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_comp.add_argument(
         "--codec",
         default="bitshuffle-zstd",
-        help="frame codec: a registered method or 'none' "
-        "(default %(default)s)",
+        help="frame codec: a registered method, 'none', or 'auto' for "
+        "adaptive per-chunk selection (default %(default)s)",
     )
+    _add_policy_args(p_comp)
     p_comp.add_argument(
         "--chunk-elements",
         type=int,
@@ -670,6 +868,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     p_ins.set_defaults(func=_cmd_inspect)
+
+    p_select = sub.add_parser(
+        "select",
+        help="codec selection: explain per-chunk choices, train the "
+        "learned policy",
+    )
+    select_sub = p_select.add_subparsers(dest="select_command", required=True)
+    p_explain = select_sub.add_parser(
+        "explain",
+        help="print per-chunk features and the chosen codec",
+    )
+    p_explain.add_argument(
+        "input", help="a .npy file or a catalog dataset name"
+    )
+    _add_policy_args(p_explain)
+    p_explain.add_argument(
+        "--chunk-elements",
+        type=int,
+        default=1 << 16,
+        help="selection granularity (default %(default)s)",
+    )
+    p_explain.add_argument(
+        "--target-elements",
+        type=int,
+        default=DEFAULT_TARGET_ELEMENTS,
+        help="element budget when input names a catalog dataset "
+        "(default %(default)s)",
+    )
+    p_explain.add_argument(
+        "--seed", type=int, default=0, help="dataset generator seed"
+    )
+    p_explain.add_argument(
+        "--verbose", action="store_true", help="print per-chunk feature values"
+    )
+    p_explain.add_argument(
+        "--json", action="store_true", help="machine-readable decisions"
+    )
+    p_explain.set_defaults(func=_cmd_select_explain)
+    p_train = select_sub.add_parser(
+        "train",
+        help="fit the learned policy's feature->winner table from the "
+        "suite cache",
+    )
+    p_train.add_argument(
+        "--candidates",
+        help="comma-separated methods the table may pick from "
+        "(default: every cached method)",
+    )
+    p_train.add_argument(
+        "--output",
+        help="table path (default: select_table.json in the suite cache)",
+    )
+    p_train.set_defaults(func=_cmd_select_train)
 
     p_list = sub.add_parser("list", help="enumerate methods and datasets")
     p_list.add_argument("--methods", action="store_true", help="methods only")

@@ -233,9 +233,18 @@ def get_compressor(name: str, **kwargs: object) -> Compressor:
     return cls(**kwargs)
 
 
-def compressor_names() -> list[str]:
-    """All registered method names, sorted."""
-    return sorted(_REGISTRY)
+def compressor_names(platform: str | None = None) -> list[str]:
+    """Registered method names, sorted; optionally filtered by platform.
+
+    ``platform="cpu"``/``"gpu"`` selects on each method's Table 1 row —
+    the filter codec-selection candidate sets use to exclude methods
+    the host cannot run natively.
+    """
+    if platform is None:
+        return sorted(_REGISTRY)
+    return sorted(
+        name for name, cls in _REGISTRY.items() if cls.info.platform == platform
+    )
 
 
 def paper_table_order() -> list[str]:

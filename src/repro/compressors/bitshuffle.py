@@ -86,7 +86,9 @@ class _BitshuffleBase(Compressor):
             )
             offset += enc_len
             pieces.append(
-                bit_untranspose(np.frombuffer(raw, dtype=np.uint8), n_values, uint_dtype)
+                bit_untranspose(
+                    np.frombuffer(raw, dtype=np.uint8), n_values, uint_dtype
+                )
             )
             decoded += n_values
         if decoded != count:
@@ -116,7 +118,9 @@ class BitshuffleLz4Compressor(_BitshuffleBase):
     )
     cost = CostModel(
         platform="cpu",
-        parallelism=ParallelismSpec(kind="simd+threads", default_threads=8, simd_width=8),
+        parallelism=ParallelismSpec(
+            kind="simd+threads", default_threads=8, simd_width=8
+        ),
         compress_kernels=(
             KernelSpec("bit_transpose", int_ops=4.0, bytes_touched=4.0),
             KernelSpec("lz4_match", int_ops=12.0, bytes_touched=3.0),
@@ -166,7 +170,9 @@ class BitshuffleZstdCompressor(_BitshuffleBase):
     )
     cost = CostModel(
         platform="cpu",
-        parallelism=ParallelismSpec(kind="simd+threads", default_threads=8, simd_width=8),
+        parallelism=ParallelismSpec(
+            kind="simd+threads", default_threads=8, simd_width=8
+        ),
         compress_kernels=(
             KernelSpec("bit_transpose", int_ops=4.0, bytes_touched=4.0),
             KernelSpec("zstd_sequences", int_ops=18.0, bytes_touched=3.5),

@@ -92,10 +92,20 @@ class DzipCompressor(Compressor):
         platform="gpu",
         parallelism=ParallelismSpec(kind="simt", default_threads=256),
         compress_kernels=(
-            KernelSpec("rnn_predict_encode", int_ops=4000.0, flops=8000.0, bytes_touched=64.0),
+            KernelSpec(
+                "rnn_predict_encode",
+                int_ops=4000.0,
+                flops=8000.0,
+                bytes_touched=64.0,
+            ),
         ),
         decompress_kernels=(
-            KernelSpec("rnn_retrain_decode", int_ops=4000.0, flops=8000.0, bytes_touched=64.0),
+            KernelSpec(
+                "rnn_retrain_decode",
+                int_ops=4000.0,
+                flops=8000.0,
+                bytes_touched=64.0,
+            ),
         ),
         # The paper reports "several KB/s"; no Table 5 anchor exists.
         anchor_compress_gbs=5e-6,

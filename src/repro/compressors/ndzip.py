@@ -364,7 +364,9 @@ class NdzipCpuCompressor(_NdzipBase):
     )
     cost = CostModel(
         platform="cpu",
-        parallelism=ParallelismSpec(kind="simd+threads", default_threads=8, simd_width=8),
+        parallelism=ParallelismSpec(
+            kind="simd+threads", default_threads=8, simd_width=8
+        ),
         compress_kernels=(
             KernelSpec("lorenzo_transform", int_ops=20.0, bytes_touched=3.2),
             KernelSpec("transpose_compact", int_ops=14.0, bytes_touched=4.0),

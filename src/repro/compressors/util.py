@@ -113,7 +113,8 @@ def _significant_bits_generic(values: np.ndarray) -> np.ndarray:
     work = values.copy()
     shift = width // 2
     while shift:
-        mask = work >= (np.asarray(1, dtype=values.dtype) << np.asarray(shift, dtype=values.dtype))
+        one = np.asarray(1, dtype=values.dtype)
+        mask = work >= (one << np.asarray(shift, dtype=values.dtype))
         result[mask] += np.uint8(shift)
         work = np.where(mask, work >> np.asarray(shift, dtype=values.dtype), work)
         shift //= 2

@@ -54,7 +54,10 @@ _LAST_RUN_FILE = "last_run.json"
 def cache_dir() -> Path:
     """Root directory for benchmark caches (override with FCBENCH_CACHE_DIR)."""
     root = os.environ.get("FCBENCH_CACHE_DIR")
-    path = Path(root) if root else Path(__file__).resolve().parents[3] / ".fcbench_cache"
+    path = (
+        Path(root) if root
+        else Path(__file__).resolve().parents[3] / ".fcbench_cache"
+    )
     path.mkdir(parents=True, exist_ok=True)
     return path
 
@@ -132,7 +135,8 @@ class CellCache:
         return digest
 
     def path(self, task) -> Path:
-        return self.root / "cells" / task.method / f"{task.dataset}_{self.key(task)}.json"
+        cell = f"{task.dataset}_{self.key(task)}.json"
+        return self.root / "cells" / task.method / cell
 
     # ------------------------------------------------------------------
     # Lookup and store

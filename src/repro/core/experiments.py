@@ -21,8 +21,7 @@ from repro.core.metrics import (
 )
 from repro.core.report import ascii_bars, ascii_boxplot, format_matrix, format_table
 from repro.core.results import ResultSet
-from repro.core.suite import default_datasets, default_methods, run_suite
-from repro.data.catalog import CATALOG, domains, get_spec
+from repro.data.catalog import CATALOG, domains
 from repro.data.loader import DEFAULT_TARGET_ELEMENTS, load
 from repro.perf.roofline import analyze
 from repro.perf.timing import PerformanceModel
@@ -153,7 +152,9 @@ def fig7a_mean_cr(results: ResultSet) -> ExperimentOutput:
     text = "Harmonic-mean CR per method (paper Figure 7a):\n" + ascii_bars(
         [_display(m) for m in methods], [means[m] for m in methods], fmt="{:.2f}"
     )
-    return ExperimentOutput("Figure 7a: average compression ratios", text, {"means": means})
+    return ExperimentOutput(
+        "Figure 7a: average compression ratios", text, {"means": means}
+    )
 
 
 def fig7b_cd_diagram(results: ResultSet, alpha: float = 0.05) -> ExperimentOutput:
@@ -186,8 +187,9 @@ def fig7b_cd_diagram(results: ResultSet, alpha: float = 0.05) -> ExperimentOutpu
 # ----------------------------------------------------------------------
 def fig8_throughputs(results: ResultSet) -> ExperimentOutput:
     methods = results.methods()
-    ct = {m: method_mean_throughput(results.for_method(m), "compress") for m in methods}
-    dt = {m: method_mean_throughput(results.for_method(m), "decompress") for m in methods}
+    rows_of = results.for_method
+    ct = {m: method_mean_throughput(rows_of(m), "compress") for m in methods}
+    dt = {m: method_mean_throughput(rows_of(m), "decompress") for m in methods}
     text = (
         "Compression throughput, GB/s, log scale (paper Figure 8a):\n"
         + ascii_bars([_display(m) for m in methods], [ct[m] for m in methods],
@@ -401,7 +403,9 @@ def _scaling_table(direction: str, paper_label: str) -> ExperimentOutput:
             row.append(f"{mbs:.0f} MB/s {speedup:.2f}x ({efficiency:.0f}%)")
         rows.append(row)
     text = format_table(headers, rows, title=paper_label)
-    return ExperimentOutput(paper_label, text, {"series": series, "threads": _THREAD_COUNTS})
+    return ExperimentOutput(
+        paper_label, text, {"series": series, "threads": _THREAD_COUNTS}
+    )
 
 
 def table7_scaling() -> ExperimentOutput:

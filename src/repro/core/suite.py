@@ -41,7 +41,13 @@ import time
 from dataclasses import dataclass
 
 from repro.compressors import paper_table_order
-from repro.core.cache import CACHE_VERSION, CacheStats, CellCache, cache_dir, write_last_run
+from repro.core.cache import (
+    CACHE_VERSION,
+    CacheStats,
+    CellCache,
+    cache_dir,
+    write_last_run,
+)
 from repro.core.executor import CellCallback, CellTask, execute_cells, resolve_jobs
 from repro.core.results import Measurement, ResultSet
 from repro.core.runner import BenchmarkRunner

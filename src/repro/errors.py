@@ -50,3 +50,12 @@ class StorageError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset descriptor is unknown or a generator was misconfigured."""
+
+
+class SelectionError(ReproError):
+    """Per-chunk codec selection was misconfigured or cannot proceed.
+
+    Raised by :mod:`repro.select` for unknown policies, empty candidate
+    sets, missing training tables, and policies that choose a codec
+    outside the stream's codec table.
+    """

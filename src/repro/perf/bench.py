@@ -62,6 +62,10 @@ DEFAULT_ELEMENTS = 1_000_000
 GUARD_ELEMENTS = 200_000
 GUARD_METHODS = ("gorilla", "chimp")
 GUARD_DATASET = "tpcH-order"
+#: Auto-vs-best-fixed cells: one dataset per paper domain, sized so the
+#: slowest candidate (the arithmetic-coded trials) stays re-measurable.
+AUTO_DATASETS = ("num-brain", "citytemp", "hst-wfc3-ir", "tpcH-order")
+AUTO_ELEMENTS = 16_384
 
 
 def repo_root() -> Path:
@@ -178,6 +182,63 @@ def bench_cell(
     return cell
 
 
+def bench_auto_cell(
+    dataset: str,
+    elements: int = AUTO_ELEMENTS,
+    chunk_elements: int = 4096,
+    policy: str = "heuristic",
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Compare the ``auto`` codec against the best fixed candidate.
+
+    Measures the full selection + compression path (`compress_array`
+    with ``codec="auto"``) and every fixed candidate on the same data,
+    recording the compression-ratio fraction auto achieves and which
+    codec each chunk went to — the online answer to the paper's offline
+    per-domain winner tables.
+    """
+    from repro.api.session import DecompressSession, compress_array
+    from repro.data.catalog import get_spec
+    from repro.data.loader import load
+    from repro.select import resolve_policy
+
+    spec = get_spec(dataset)
+    array = load(dataset, elements, seed)
+    selection = resolve_policy(policy)
+    auto_blob = compress_array(array, selection, chunk_elements=chunk_elements)
+    auto_s = _best_seconds(
+        lambda: compress_array(array, selection, chunk_elements=chunk_elements),
+        repeats,
+    )
+    from collections import Counter
+
+    with DecompressSession(auto_blob) as stream:
+        frame_codecs = dict(Counter(stream.frame_codec_names()))
+    best_method, best_bytes = "", None
+    for name in selection.candidates:
+        fixed = len(compress_array(array, name, chunk_elements=chunk_elements))
+        if best_bytes is None or fixed < best_bytes:
+            best_method, best_bytes = name, fixed
+    auto_cr = array.nbytes / max(len(auto_blob), 1)
+    best_cr = array.nbytes / max(best_bytes, 1)
+    return {
+        "dataset": dataset,
+        "domain": spec.domain,
+        "policy": selection.name,
+        "elements": int(array.size),
+        "chunk_elements": chunk_elements,
+        "auto_compressed_bytes": len(auto_blob),
+        "auto_cr": auto_cr,
+        "auto_compress_s": auto_s,
+        "auto_mbs": array.nbytes / 1e6 / auto_s,
+        "best_fixed_method": best_method,
+        "best_fixed_cr": best_cr,
+        "fraction_of_best": auto_cr / best_cr if best_cr else 0.0,
+        "frame_codecs": frame_codecs,
+    }
+
+
 def run_bench(
     methods: Sequence[str] | None = None,
     datasets: Sequence[str] | None = None,
@@ -185,6 +246,7 @@ def run_bench(
     repeats: int = 3,
     oracle: bool = True,
     guard: bool = True,
+    auto: bool = False,
     seed: int = 0,
     on_cell: Callable[[dict], None] | None = None,
 ) -> dict:
@@ -202,6 +264,7 @@ def run_bench(
         "repeats": repeats,
         "cells": [],
         "guard": [],
+        "auto": [],
     }
     for dataset in datasets:
         for method in methods:
@@ -220,6 +283,12 @@ def run_bench(
                 method, GUARD_DATASET, GUARD_ELEMENTS, repeats, True, seed
             )
             report["guard"].append(cell)
+            if on_cell is not None:
+                on_cell(cell)
+    if auto:
+        for dataset in AUTO_DATASETS:
+            cell = bench_auto_cell(dataset, repeats=repeats, seed=seed)
+            report["auto"].append(cell)
             if on_cell is not None:
                 on_cell(cell)
     return report

@@ -21,7 +21,7 @@ are derived purely from the model structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["KernelSpec", "ParallelismSpec", "ScalingSpec", "CostModel"]
 

@@ -1,0 +1,71 @@
+"""Per-chunk codec selection: the brain behind the ``auto`` codec.
+
+FCBench's central finding is that no single lossless compressor
+dominates across domains — the winner flips with the data's entropy
+class, smoothness, and mantissa structure.  This package turns that
+offline conclusion into an online capability: at write time, each chunk
+of an FCF v2 stream is routed to the codec a pluggable policy picks
+from cheap chunk statistics.
+
+* :mod:`repro.select.features` — deterministic per-chunk statistics,
+* :mod:`repro.select.policy` — ``heuristic`` / ``measured`` /
+  ``learned`` selection policies,
+* :mod:`repro.select.train` — fit the learned policy from the suite
+  cache (``fcbench select train``).
+
+Entry points: pass ``codec="auto"`` to any :mod:`repro.api` writer, or
+``--codec auto`` to ``fcbench compress``; ``fcbench select explain``
+shows per-chunk decisions with their features and reasons.
+"""
+
+from repro.select.features import (
+    FEATURE_ORDER,
+    FEATURE_SAMPLE_ELEMENTS,
+    ChunkFeatures,
+    extract_features,
+)
+from repro.select.policy import (
+    DEFAULT_CANDIDATES,
+    POLICY_NAMES,
+    HeuristicPolicy,
+    LearnedPolicy,
+    MeasuredPolicy,
+    SelectionDecision,
+    SelectionPolicy,
+    codec_instance,
+    pick_smallest,
+    resolve_policy,
+)
+from repro.select.train import (
+    TableRow,
+    build_table,
+    default_table_path,
+    load_policy,
+    load_table,
+    save_table,
+    table_from_results,
+)
+
+__all__ = [
+    "FEATURE_ORDER",
+    "FEATURE_SAMPLE_ELEMENTS",
+    "ChunkFeatures",
+    "extract_features",
+    "DEFAULT_CANDIDATES",
+    "POLICY_NAMES",
+    "HeuristicPolicy",
+    "LearnedPolicy",
+    "MeasuredPolicy",
+    "SelectionDecision",
+    "SelectionPolicy",
+    "codec_instance",
+    "pick_smallest",
+    "resolve_policy",
+    "TableRow",
+    "build_table",
+    "default_table_path",
+    "load_policy",
+    "load_table",
+    "save_table",
+    "table_from_results",
+]

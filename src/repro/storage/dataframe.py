@@ -42,7 +42,10 @@ class DataFrame:
                 f"from_table expects 1-D or 2-D data, got rank {table.ndim}"
             )
         return cls(
-            {f"{prefix}{i}": np.ascontiguousarray(table[:, i]) for i in range(table.shape[1])}
+            {
+                f"{prefix}{i}": np.ascontiguousarray(table[:, i])
+                for i in range(table.shape[1])
+            }
         )
 
     def __len__(self) -> int:

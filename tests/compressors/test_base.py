@@ -9,7 +9,7 @@ from repro.compressors import (
     get_compressor,
     paper_table_order,
 )
-from repro.compressors.base import Compressor, MethodInfo
+from repro.compressors.base import MethodInfo
 from repro.errors import CorruptStreamError, UnsupportedDtypeError
 
 

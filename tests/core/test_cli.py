@@ -168,7 +168,9 @@ def test_parallel_run_matches_serial_fingerprint(capsys):
     serial = capsys.readouterr().out
     assert main(args + ["--jobs", "2"]) == 0
     parallel = capsys.readouterr().out
-    fp = lambda text: text.rsplit("fingerprint=", 1)[1].split()[0]
+    def fp(text):
+        return text.rsplit("fingerprint=", 1)[1].split()[0]
+
     assert fp(serial) == fp(parallel)
 
 

@@ -18,8 +18,10 @@ def _m(method, dataset, domain, cr, wall=100.0, ok=True):
 def toy_results():
     rows = []
     for dataset, domain in (("h1", "HPC"), ("t1", "TS"), ("o1", "OBS"), ("d1", "DB")):
-        rows.append(_m("fpzip", dataset, domain, cr=2.0 if domain == "HPC" else 1.1, wall=5000))
-        rows.append(_m("chimp", dataset, domain, cr=1.8 if domain == "DB" else 1.2, wall=9000))
+        hpc_cr = 2.0 if domain == "HPC" else 1.1
+        db_cr = 1.8 if domain == "DB" else 1.2
+        rows.append(_m("fpzip", dataset, domain, cr=hpc_cr, wall=5000))
+        rows.append(_m("chimp", dataset, domain, cr=db_cr, wall=9000))
         rows.append(_m("bitshuffle-zstd", dataset, domain, cr=1.5, wall=300))
         rows.append(_m("mpc", dataset, domain, cr=1.3, wall=250))
         rows.append(_m("gfc", dataset, domain, cr=1.0, wall=100))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.compressors import compressor_names, get_compressor
+from repro.compressors import get_compressor
 from repro.perf.cost import CostModel, KernelSpec, ParallelismSpec, ScalingSpec
 
 

@@ -1,0 +1,117 @@
+"""Training the learned policy from the suite cache and ResultSets."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.cache import CellCache
+from repro.core.results import Measurement, ResultSet
+from repro.errors import SelectionError
+from repro.select import (
+    LearnedPolicy,
+    build_table,
+    load_policy,
+    load_table,
+    save_table,
+    table_from_results,
+)
+from repro.select.features import FEATURE_ORDER
+
+
+def _measurement(method, dataset, ratio, ok=True):
+    return Measurement(
+        method=method,
+        dataset=dataset,
+        domain="TS",
+        precision="D",
+        ok=ok,
+        compression_ratio=ratio,
+    )
+
+
+def _seed_cache(tmp_path):
+    cache = CellCache(root=tmp_path)
+    cells = [
+        ("gorilla", "citytemp", 2.0),
+        ("chimp", "citytemp", 3.5),
+        ("gorilla", "tpcH-order", 1.9),
+        ("chimp", "tpcH-order", 1.2),
+    ]
+    for method, dataset, ratio in cells:
+        task = SimpleNamespace(
+            method=method, dataset=dataset, target_elements=512, seed=0
+        )
+        cache.put(task, _measurement(method, dataset, ratio))
+    return cache
+
+
+def test_build_table_picks_best_cr_per_dataset(tmp_path):
+    _seed_cache(tmp_path)
+    rows = build_table(root=tmp_path)
+    winners = {row.dataset: row.winner for row in rows}
+    assert winners == {"citytemp": "chimp", "tpcH-order": "gorilla"}
+    for row in rows:
+        assert set(FEATURE_ORDER) <= set(row.features)
+
+
+def test_build_table_respects_candidate_restriction(tmp_path):
+    _seed_cache(tmp_path)
+    rows = build_table(root=tmp_path, candidates=("gorilla",))
+    assert {row.winner for row in rows} == {"gorilla"}
+
+
+def test_build_table_on_empty_cache_raises(tmp_path):
+    with pytest.raises(SelectionError):
+        build_table(root=tmp_path)
+
+
+def test_table_round_trips_through_json(tmp_path):
+    _seed_cache(tmp_path)
+    rows = build_table(root=tmp_path)
+    path = save_table(rows, tmp_path / "table.json")
+    assert load_table(path) == rows
+    policy = load_policy(path)
+    assert isinstance(policy, LearnedPolicy)
+    assert set(policy.candidates) == {"chimp", "gorilla"}
+
+
+def test_load_table_rejects_missing_and_malformed(tmp_path):
+    with pytest.raises(SelectionError):
+        load_table(tmp_path / "nope.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(SelectionError):
+        load_table(bad)
+    drifted = tmp_path / "drifted.json"
+    drifted.write_text('{"schema": 99, "rows": []}')
+    with pytest.raises(SelectionError):
+        load_table(drifted)
+
+
+def test_load_table_rejects_feature_order_drift(tmp_path):
+    _seed_cache(tmp_path)
+    path = save_table(build_table(root=tmp_path), tmp_path / "table.json")
+    import json
+
+    payload = json.loads(path.read_text())
+    payload["feature_order"] = ["something_else"]
+    path.write_text(json.dumps(payload))
+    with pytest.raises(SelectionError):
+        load_table(path)
+
+
+def test_table_from_results():
+    results = ResultSet()
+    results.add(_measurement("gorilla", "citytemp", 2.0))
+    results.add(_measurement("chimp", "citytemp", 3.0))
+    results.add(_measurement("fpzip", "citytemp", 9.0, ok=False))  # ignored
+    rows = table_from_results(results, target_elements=512)
+    assert [row.winner for row in rows] == ["chimp"]
+    assert rows[0].winner_cr == 3.0
+
+
+def test_table_from_results_with_nothing_usable():
+    results = ResultSet()
+    results.add(_measurement("gorilla", "citytemp", 2.0, ok=False))
+    with pytest.raises(SelectionError):
+        table_from_results(results, target_elements=512)

@@ -1,6 +1,5 @@
 """Tests for the query micro-benchmark engine (Table 11)."""
 
-import numpy as np
 import pytest
 
 from repro.compressors import get_compressor
