@@ -6,6 +6,9 @@ a simulated in-memory database, statistical ranking, and a calibrated
 performance model reproducing the paper's tables and figures.
 """
 
+from importlib.metadata import PackageNotFoundError
+from importlib.metadata import version as _distribution_version
+
 from repro.api import (
     compress_array,
     decompress_array,
@@ -15,7 +18,12 @@ from repro.compressors import compressor_names, get_compressor
 from repro.core import run_suite
 from repro.data import dataset_names, load
 
-__version__ = "1.0.0"
+try:
+    # Installed (pip install -e . or a wheel): the single source of
+    # truth is the distribution metadata setup.py declares.
+    __version__ = _distribution_version("fcbench-repro")
+except PackageNotFoundError:  # running from a checkout via PYTHONPATH=src
+    __version__ = "1.0.0"
 
 __all__ = [
     "__version__",

@@ -25,6 +25,13 @@ Subcommands:
   prints per-chunk features, the chosen codec, and the reason;
   ``train`` fits the learned policy's feature → winner table from the
   suite cache.
+* ``fcbench serve``  — run the network compression service (an asyncio
+  TCP server speaking the FCS wire protocol; see ``docs/service.md``)
+  with request batching and graceful drain; ``--metrics-json`` writes
+  the final metrics snapshot on shutdown.
+* ``fcbench client`` — talk to a running server:
+  ``ping | compress | decompress | stats``.  A served ``compress`` is
+  byte-identical to the local one.
 * ``fcbench list``   — enumerate the registered methods and datasets
   (``--json`` for machine-readable registry introspection).
 
@@ -271,6 +278,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     def on_cell(cell: dict) -> None:
         if args.quiet:
             return
+        if "throughput_mbs" in cell:  # a loadgen (service) cell
+            print(
+                f"service {cell['codec']:<16} "
+                f"{cell['completed_round_trips']:3d} round trips  "
+                f"p50 {cell['compress']['p50_ms']:6.1f}ms  "
+                f"p99 {cell['compress']['p99_ms']:6.1f}ms  "
+                f"{cell['throughput_mbs']:7.1f} MB/s",
+                flush=True,
+            )
+            return
         if "auto_cr" in cell:
             chunks = ", ".join(
                 f"{name} x{count}"
@@ -302,6 +319,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         oracle=not args.no_oracle,
         guard=not args.no_guard,
         auto=args.auto,
+        service=args.service,
         seed=args.seed,
         on_cell=on_cell,
     )
@@ -616,6 +634,117 @@ def _cmd_select_train(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# fcbench serve / client (the network compression service)
+# ----------------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.server import run_server
+
+    def on_ready(server) -> None:
+        # Machine-parseable: CI greps this line for the ephemeral port.
+        print(f"serving on {server.host}:{server.port}", flush=True)
+        if not args.quiet:
+            print(
+                f"  jobs={server.jobs or 1} batch_max={server.batch_max} "
+                f"batch_window={server.batch_window}s  (Ctrl-C drains "
+                "gracefully)",
+                flush=True,
+            )
+
+    metrics = run_server(
+        args.host,
+        args.port,
+        on_ready=on_ready,
+        jobs=args.jobs,
+        batch_max=args.batch_max,
+        batch_window=args.batch_window,
+        grace=args.grace,
+    )
+    snapshot = metrics.snapshot()
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.metrics_json}")
+    elif not args.quiet:
+        ops = snapshot["ops"]
+        served = ", ".join(
+            f"{op} x{c['requests']}" for op, c in ops.items()
+        ) or "nothing"
+        print(f"drained: served {served}")
+    return 0
+
+
+def _client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(
+        args.host, args.port, retries=args.retries, timeout=args.timeout
+    )
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.errors import ReproError
+
+    try:
+        if args.client_command == "ping":
+            with _client(args) as client:
+                seconds = client.ping()
+            print(f"pong from {args.host}:{args.port} in {seconds * 1e3:.2f}ms")
+            return 0
+        if args.client_command == "stats":
+            with _client(args) as client:
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "compress":
+            array = _load_npy(args.input)
+            with _client(args) as client:
+                blob = client.compress_array(
+                    array,
+                    args.codec,
+                    chunk_elements=args.chunk_elements,
+                    policy=args.policy,
+                )
+            with open(args.output, "wb") as fh:
+                fh.write(blob)
+            if not args.quiet:
+                ratio = array.nbytes / len(blob) if blob else float("inf")
+                print(
+                    f"{args.input} -> {args.output}: {array.size} elements, "
+                    f"{array.nbytes} -> {len(blob)} bytes "
+                    f"(ratio {ratio:.3f}, codec {args.codec}, served by "
+                    f"{args.host}:{args.port})"
+                )
+            return 0
+        # decompress
+        try:
+            with open(args.input, "rb") as fh:
+                blob = fh.read()
+        except OSError as exc:
+            raise SystemExit(f"error: cannot read {args.input!r}: {exc}") from exc
+        with _client(args) as client:
+            array = client.decompress_array(blob)
+        np.save(args.output, array)
+        if not args.quiet:
+            print(
+                f"{args.input} -> {args.output}: {array.size} x {array.dtype} "
+                f"restored (shape {'x'.join(map(str, array.shape))})"
+            )
+        return 0
+    except ConnectionRefusedError as exc:
+        raise SystemExit(
+            f"error: no server at {args.host}:{args.port} ({exc})"
+        ) from exc
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
 # fcbench list
 # ----------------------------------------------------------------------
 def _list_json() -> str:
@@ -723,6 +852,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="FCBench reproduction: run, report, and cache the "
         "14-method x 33-dataset measurement matrix.",
     )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="execute the measurement matrix")
@@ -807,6 +943,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also measure the auto codec against the best fixed "
         "candidate on one dataset per domain",
+    )
+    p_bench.add_argument(
+        "--service",
+        action="store_true",
+        help="also run the service load generator (self-hosted server, "
+        "4 concurrent connections per codec) and record its latency "
+        "percentiles in the snapshot",
     )
     p_bench.add_argument(
         "--output", help="write the snapshot to this path instead"
@@ -921,6 +1064,118 @@ def build_parser() -> argparse.ArgumentParser:
         help="table path (default: select_table.json in the suite cache)",
     )
     p_train.set_defaults(func=_cmd_select_train)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the network compression service (FCS protocol over TCP)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port; 0 picks an ephemeral port (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes per request batch; 0 = all cores "
+        "(default: FCBENCH_JOBS env or 1)",
+    )
+    p_serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=16,
+        help="most requests coalesced into one fan-out (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="seconds to wait for more pipelined requests before "
+        "executing a batch; 0 disables (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--grace",
+        type=float,
+        default=5.0,
+        help="drain grace period on shutdown (default %(default)ss)",
+    )
+    p_serve.add_argument(
+        "--metrics-json",
+        help="write the final metrics snapshot to this path on shutdown",
+    )
+    p_serve.add_argument(
+        "--quiet", action="store_true", help="address line only"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="talk to a running compression service"
+    )
+    p_client.add_argument(
+        "--host", default="127.0.0.1", help="server address (default %(default)s)"
+    )
+    p_client.add_argument(
+        "--port", type=int, default=8765, help="server port (default %(default)s)"
+    )
+    p_client.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="re-dials after a transient disconnect (default %(default)s)",
+    )
+    p_client.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-socket-operation timeout (default %(default)ss)",
+    )
+    client_sub = p_client.add_subparsers(dest="client_command", required=True)
+    c_ping = client_sub.add_parser("ping", help="round-trip liveness probe")
+    c_ping.set_defaults(func=_cmd_client)
+    c_stats = client_sub.add_parser(
+        "stats", help="print the server's metrics snapshot (JSON)"
+    )
+    c_stats.set_defaults(func=_cmd_client)
+    c_comp = client_sub.add_parser(
+        "compress",
+        help="compress a .npy through the server into a .fcf stream "
+        "(byte-identical to local compression)",
+    )
+    c_comp.add_argument("input", help="source .npy file (float32/float64)")
+    c_comp.add_argument("output", help="destination .fcf stream")
+    c_comp.add_argument(
+        "--codec",
+        default="bitshuffle-zstd",
+        help="frame codec: a registered method, 'none', or 'auto' "
+        "(default %(default)s)",
+    )
+    c_comp.add_argument(
+        "--policy",
+        default="heuristic",
+        choices=("heuristic", "measured", "learned"),
+        help="selection policy for --codec auto (default %(default)s)",
+    )
+    c_comp.add_argument(
+        "--chunk-elements",
+        type=int,
+        default=1 << 16,
+        help="elements per chunk frame (default %(default)s)",
+    )
+    c_comp.add_argument("--quiet", action="store_true", help="no summary line")
+    c_comp.set_defaults(func=_cmd_client)
+    c_dec = client_sub.add_parser(
+        "decompress",
+        help="restore a .fcf stream to a .npy array through the server",
+    )
+    c_dec.add_argument("input", help="source .fcf stream")
+    c_dec.add_argument("output", help="destination .npy file")
+    c_dec.add_argument("--quiet", action="store_true", help="no summary line")
+    c_dec.set_defaults(func=_cmd_client)
 
     p_list = sub.add_parser("list", help="enumerate methods and datasets")
     p_list.add_argument("--methods", action="store_true", help="methods only")

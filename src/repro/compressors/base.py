@@ -14,6 +14,7 @@ import hashlib
 import inspect
 import json
 import sys
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from functools import lru_cache
@@ -39,6 +40,25 @@ __all__ = [
 _MAGIC = 0xFC
 _DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
 _CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
+
+#: One deprecation notice per process: the shims sit under hot loops
+#: (the suite runner calls them per cell), so warning on every call
+#: would bury real warnings; warning never would hide the migration.
+_SHIM_WARNING_EMITTED = False
+
+
+def _warn_shim_deprecated() -> None:
+    global _SHIM_WARNING_EMITTED
+    if _SHIM_WARNING_EMITTED:
+        return
+    _SHIM_WARNING_EMITTED = True
+    warnings.warn(
+        "Compressor.compress/decompress are deprecated single-frame "
+        "shims; use repro.api.compress_array/decompress_array or the "
+        "session API (see docs/streaming.md)",
+        DeprecationWarning,
+        stacklevel=3,  # _warn_shim_deprecated -> shim -> the caller
+    )
 
 
 @dataclass(frozen=True)
@@ -106,6 +126,7 @@ class Compressor(ABC):
         """
         from repro.api import frames
 
+        _warn_shim_deprecated()
         return frames.encode_legacy_frame(self, self._validate(array))
 
     def decompress(self, blob: bytes) -> np.ndarray:
@@ -122,6 +143,7 @@ class Compressor(ABC):
         from repro.api import frames
         from repro.api.session import decompress_array
 
+        _warn_shim_deprecated()
         if bytes(blob[:4]) == frames.FRAME_MAGIC:
             return decompress_array(blob)
         return frames.decode_legacy_frame(self, blob)

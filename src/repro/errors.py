@@ -59,3 +59,24 @@ class SelectionError(ReproError):
     sets, missing training tables, and policies that choose a codec
     outside the stream's codec table.
     """
+
+
+class ServiceError(ReproError):
+    """The compression service failed to execute a request.
+
+    The network surface (:mod:`repro.service`) reports server-side
+    failures as typed error frames; the client raises the matching
+    library exception where one exists (:class:`CorruptStreamError`,
+    :class:`SelectionError`, :class:`UnsupportedDtypeError`) and this
+    class for everything else — unknown codecs, internal faults.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A wire frame violates the service protocol.
+
+    Truncated or bit-flipped framing, bad magic, implausible lengths,
+    checksum mismatches, and responses that do not match the request.
+    Unlike :class:`ServiceError`, a protocol error means the byte stream
+    itself can no longer be trusted, so the connection is closed.
+    """

@@ -247,6 +247,7 @@ def run_bench(
     oracle: bool = True,
     guard: bool = True,
     auto: bool = False,
+    service: bool = False,
     seed: int = 0,
     on_cell: Callable[[dict], None] | None = None,
 ) -> dict:
@@ -291,6 +292,17 @@ def run_bench(
             report["auto"].append(cell)
             if on_cell is not None:
                 on_cell(cell)
+    if service:
+        # Served-path latency/throughput: a self-hosted server on an
+        # ephemeral port, 4 concurrent connections per codec (see
+        # repro/perf/loadgen.py).  Lands in the same snapshot so the
+        # serving trajectory is tracked per commit like codec speed.
+        from repro.perf.loadgen import run_loadgen
+
+        report["service"] = run_loadgen(
+            seed=seed,
+            on_result=on_cell if on_cell is not None else None,
+        )
     return report
 
 

@@ -1,0 +1,249 @@
+"""Multi-connection load generator for the compression service.
+
+Drives a :mod:`repro.service` server with ``connections`` concurrent
+clients (threads, one pooled connection each) issuing compress +
+decompress round trips, and reports exact client-side latency
+percentiles (p50/p95/p99 from the full sample set, not histogram
+buckets) and aggregate throughput per codec.  The result dict plugs
+into the ``BENCH_<git-sha>.json`` snapshot flow: ``fcbench bench
+--service`` stores it under the report's ``"service"`` key, so serving
+latency becomes a point on the same per-commit trajectory as codec
+throughput.
+
+When no ``host`` is given the generator starts its own in-process
+server on an ephemeral port (batching window enabled so pipelined
+requests actually coalesce) and tears it down afterwards — the
+self-contained mode CI and the bench harness use.
+
+Usage — tiny self-served run:
+
+    >>> from repro.perf.loadgen import run_loadgen
+    >>> report = run_loadgen(connections=2, requests=2, elements=512,
+    ...                      codecs=("gorilla",), verify=True)
+    >>> [c["codec"] for c in report["codecs"]]
+    ['gorilla']
+    >>> report["codecs"][0]["errors"]
+    0
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["run_loadgen", "percentile"]
+
+DEFAULT_CODECS = ("bitshuffle-zstd", "gorilla", "auto")
+DEFAULT_DATASET = "tpcH-order"
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Exact quantile: the ceil(q*n)-th smallest sample."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(np.ceil(q * len(ordered))) - 1))
+    return ordered[rank]
+
+
+def _latency_summary(samples: list[float]) -> dict:
+    return {
+        "count": len(samples),
+        "mean_ms": float(np.mean(samples)) * 1e3 if samples else 0.0,
+        "p50_ms": percentile(samples, 0.50) * 1e3,
+        "p95_ms": percentile(samples, 0.95) * 1e3,
+        "p99_ms": percentile(samples, 0.99) * 1e3,
+    }
+
+
+def _worker(
+    client_factory: Callable[[], object],
+    array: np.ndarray,
+    codec: str,
+    chunk_elements: int,
+    requests: int,
+    out: dict,
+    barrier: threading.Barrier,
+) -> None:
+    """One connection's request loop; records latencies into ``out``."""
+    compress_s: list[float] = []
+    decompress_s: list[float] = []
+    errors = 0
+    try:
+        client = client_factory()
+    except Exception as exc:
+        out.update(error=f"connect: {exc}", compress=[], decompress=[],
+                   errors=requests)
+        barrier.wait()
+        return
+    barrier.wait()  # start all connections together
+    try:
+        for _ in range(requests):
+            try:
+                start = time.perf_counter()
+                blob = client.compress_array(
+                    array, codec, chunk_elements=chunk_elements
+                )
+                compress_s.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                client.decompress_array(blob)
+                decompress_s.append(time.perf_counter() - start)
+            except Exception:
+                errors += 1
+    finally:
+        client.close()
+    out.update(compress=compress_s, decompress=decompress_s, errors=errors)
+
+
+def run_loadgen(
+    host: str | None = None,
+    port: int | None = None,
+    *,
+    connections: int = 4,
+    requests: int = 8,
+    elements: int = 4096,
+    chunk_elements: int = 1024,
+    codecs: Sequence[str] = DEFAULT_CODECS,
+    dataset: str = DEFAULT_DATASET,
+    seed: int = 0,
+    server_jobs: int | None = None,
+    batch_window: float = 0.002,
+    verify: bool = True,
+    on_result: Callable[[dict], None] | None = None,
+) -> dict:
+    """Run the load matrix; returns a JSON-ready report.
+
+    ``connections`` threads per codec issue ``requests`` compress +
+    decompress round trips each over the same ``dataset`` slice.  With
+    ``verify`` the served stream is additionally checked byte-identical
+    to the local ``compress_array`` output for every codec (outside the
+    timed loop).
+    """
+    from repro.data.loader import load
+
+    if connections < 1 or requests < 1:
+        raise ValueError("connections and requests must be positive")
+    array = load(dataset, elements, seed)
+
+    handle = None
+    if host is None:
+        from repro.service.server import serve_background
+
+        handle = serve_background(jobs=server_jobs, batch_window=batch_window)
+        host, port = handle.host, handle.port
+    if port is None:
+        raise ValueError("port is required when host is given")
+
+    report = {
+        "dataset": dataset,
+        "elements": int(array.size),
+        "chunk_elements": chunk_elements,
+        "connections": connections,
+        "requests_per_connection": requests,
+        "self_served": handle is not None,
+        "codecs": [],
+    }
+    try:
+        for codec in codecs:
+            cell = _run_codec(
+                host, port, array, codec, chunk_elements,
+                connections, requests, verify,
+            )
+            report["codecs"].append(cell)
+            if on_result is not None:
+                on_result(cell)
+        if handle is not None:
+            snapshot = handle.metrics.snapshot()
+            report["server"] = {
+                "batches": snapshot["batches"],
+                "protocol_errors": snapshot["protocol_errors"],
+                "connections_opened": snapshot["connections"]["opened"],
+            }
+    finally:
+        if handle is not None:
+            handle.stop()
+    return report
+
+
+def _run_codec(
+    host: str,
+    port: int,
+    array: np.ndarray,
+    codec: str,
+    chunk_elements: int,
+    connections: int,
+    requests: int,
+    verify: bool,
+) -> dict:
+    from repro.service.client import ServiceClient
+
+    def factory() -> ServiceClient:
+        return ServiceClient(host, port, pool_size=1)
+
+    identical = None
+    if verify:
+        from repro.api.session import compress_array, decompress_array
+
+        local_codec = codec
+        if codec == "auto":
+            from repro.select import resolve_policy
+
+            local_codec = resolve_policy("heuristic")
+        with factory() as probe:
+            served = probe.compress_array(
+                array, codec, chunk_elements=chunk_elements
+            )
+            local = compress_array(
+                array, local_codec, chunk_elements=chunk_elements
+            )
+            identical = bool(
+                served == local
+                and np.array_equal(
+                    probe.decompress_array(served).ravel(),
+                    decompress_array(local).ravel(),
+                )
+            )
+
+    results = [dict() for _ in range(connections)]
+    barrier = threading.Barrier(connections + 1)
+    threads = [
+        threading.Thread(
+            target=_worker,
+            args=(factory, array, codec, chunk_elements,
+                  requests, results[index], barrier),
+            daemon=True,
+        )
+        for index in range(connections)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+
+    compress_s = [s for r in results for s in r.get("compress", [])]
+    decompress_s = [s for r in results for s in r.get("decompress", [])]
+    errors = sum(r.get("errors", 0) for r in results)
+    round_trips = len(decompress_s)
+    # Raw array bytes moved through the service in both directions.
+    moved = array.nbytes * (len(compress_s) + len(decompress_s))
+    cell = {
+        "codec": codec,
+        "requests": connections * requests,
+        "completed_round_trips": round_trips,
+        "errors": errors,
+        "wall_seconds": wall,
+        "throughput_mbs": moved / 1e6 / wall if wall > 0 else 0.0,
+        "compress": _latency_summary(compress_s),
+        "decompress": _latency_summary(decompress_s),
+    }
+    if identical is not None:
+        cell["byte_identical_with_local"] = identical
+    return cell

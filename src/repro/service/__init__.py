@@ -1,0 +1,55 @@
+"""The network compression service.
+
+Turns the in-process streaming surface (:mod:`repro.api`) into a
+multi-client TCP service: a length-prefixed binary wire protocol
+(:mod:`repro.service.protocol`), an asyncio server with per-connection
+backpressure, request batching, and graceful drain
+(:mod:`repro.service.server`), sync and async client libraries
+(:mod:`repro.service.client`), and request/latency metrics
+(:mod:`repro.service.metrics`).
+
+Compressed payloads cross the wire as FCF streams verbatim, so a served
+round trip is byte-identical to a local ``compress_array`` /
+``decompress_array`` call — including ``codec="auto"`` v2 mixed-codec
+streams.  See ``docs/service.md`` for the wire specification and threat
+model; ``fcbench serve`` / ``fcbench client`` are the CLI entry points.
+"""
+
+from repro.service.client import (
+    DEFAULT_CODEC,
+    AsyncServiceClient,
+    ServiceClient,
+)
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    MAGIC,
+    PROTOCOL_VERSION,
+    Frame,
+    FrameParser,
+    encode_frame,
+)
+from repro.service.server import (
+    CompressionServer,
+    ServerHandle,
+    run_server,
+    serve_background,
+)
+
+__all__ = [
+    "AsyncServiceClient",
+    "CompressionServer",
+    "DEFAULT_CODEC",
+    "DEFAULT_MAX_PAYLOAD",
+    "Frame",
+    "FrameParser",
+    "LatencyHistogram",
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "ServerHandle",
+    "ServiceClient",
+    "ServiceMetrics",
+    "encode_frame",
+    "run_server",
+    "serve_background",
+]

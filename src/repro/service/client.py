@@ -1,0 +1,370 @@
+"""Clients for the compression service.
+
+:class:`ServiceClient` is the synchronous client: a small connection
+pool over blocking sockets, transparent retry on transient disconnects,
+and ``compress_array`` / ``decompress_array`` methods that mirror the
+local :mod:`repro.api` surface — the compressed bytes a served call
+returns are exactly the FCF stream the local call would produce.
+
+:class:`AsyncServiceClient` is the asyncio twin (one connection, same
+request surface as coroutines) for callers already living on an event
+loop.
+
+Usage::
+
+    from repro.service import ServiceClient, serve_background
+
+    with serve_background() as server:
+        with ServiceClient(server.host, server.port) as client:
+            blob = client.compress_array(array, codec="gorilla")
+            back = client.decompress_array(blob)
+
+Every server-reported failure raises the same typed exception a local
+call would (:class:`~repro.errors.CorruptStreamError`,
+:class:`~repro.errors.SelectionError`, ...); transport-level garbage
+raises :class:`~repro.errors.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+
+import numpy as np
+
+from repro.api.frames import DEFAULT_CHUNK_ELEMENTS
+from repro.errors import ProtocolError
+from repro.service import protocol
+from repro.service.protocol import (
+    COMPRESS,
+    DECOMPRESS,
+    DEFAULT_MAX_PAYLOAD,
+    PING,
+    SELECT_EXPLAIN,
+    STATS,
+    Frame,
+    FrameParser,
+    encode_frame,
+    response_type,
+)
+
+__all__ = ["ServiceClient", "AsyncServiceClient", "DEFAULT_CODEC"]
+
+#: Default codec for served compression, matching ``fcbench compress``.
+DEFAULT_CODEC = "bitshuffle-zstd"
+
+#: Transport failures worth one transparent retry on a fresh connection.
+_TRANSIENT = (ConnectionError, BrokenPipeError, EOFError, OSError)
+
+
+class _Connection:
+    """One pooled socket plus its incremental frame parser."""
+
+    def __init__(self, host: str, port: int, timeout: float, max_payload: int):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.settimeout(timeout)
+        self.parser = FrameParser(max_payload)
+
+    def request(self, frame_type: int, request_id: int, payload: bytes) -> Frame:
+        self.sock.sendall(encode_frame(frame_type, request_id, payload))
+        while True:
+            data = self.sock.recv(1 << 16)
+            if not data:
+                raise ConnectionError("server closed the connection mid-reply")
+            frames = self.parser.feed(data)
+            if frames:
+                if len(frames) > 1:
+                    raise ProtocolError(
+                        f"server answered one request with {len(frames)} frames"
+                    )
+                return frames[0]
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def _check_response(frame: Frame, frame_type: int, request_id: int) -> Frame:
+    """Validate a reply: typed errors raise, mismatches are protocol bugs."""
+    if frame.is_error:
+        protocol.raise_for_error(frame)
+    if frame.frame_type != response_type(frame_type):
+        raise ProtocolError(
+            f"response type {frame.frame_type:#04x} does not answer "
+            f"request type {frame_type:#04x}"
+        )
+    if frame.request_id != request_id:
+        raise ProtocolError(
+            f"response id {frame.request_id} does not match "
+            f"request id {request_id}"
+        )
+    return frame
+
+
+class ServiceClient:
+    """Synchronous client with connection pooling and retries.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    pool_size:
+        Most idle connections kept open for reuse.  Each request
+        checks one out (or dials a new one) and returns it afterwards,
+        so the client is safe to share across threads — concurrent
+        requests simply use distinct connections.
+    retries:
+        Transparent re-dials after a transient transport failure
+        (connection reset, broken pipe).  Requests are idempotent pure
+        functions, so replaying one is always safe.
+    timeout:
+        Per-socket-operation timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 2,
+        retries: int = 1,
+        timeout: float = 30.0,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be positive")
+        self.host = host
+        self.port = int(port)
+        self.pool_size = int(pool_size)
+        self.retries = max(0, int(retries))
+        self.timeout = float(timeout)
+        self.max_payload = int(max_payload)
+        self._pool: list[_Connection] = []
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+
+    # -- pooling -------------------------------------------------------
+    def _checkout(self) -> _Connection:
+        with self._lock:
+            if self._closed:
+                raise ProtocolError("client is closed")
+            if self._pool:
+                return self._pool.pop()
+        return _Connection(self.host, self.port, self.timeout, self.max_payload)
+
+    def _checkin(self, conn: _Connection) -> None:
+        with self._lock:
+            if not self._closed and len(self._pool) < self.pool_size:
+                self._pool.append(conn)
+                return
+        conn.close()
+
+    def _request_id(self) -> int:
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
+
+    def _request(self, frame_type: int, payload: bytes) -> Frame:
+        request_id = self._request_id()
+        last: BaseException | None = None
+        for _ in range(self.retries + 1):
+            conn = self._checkout()
+            try:
+                frame = conn.request(frame_type, request_id, payload)
+            except TimeoutError:
+                # A slow request is not a transport fault: the server
+                # may still be executing it, so replaying would double
+                # its work.  Surface the timeout as a timeout.
+                conn.close()
+                raise
+            except _TRANSIENT as exc:
+                # The connection is poisoned either way; retry dials a
+                # fresh one.  ProtocolError is deliberately NOT retried:
+                # the server is answering, just not speaking FCS.
+                conn.close()
+                last = exc
+                continue
+            except BaseException:
+                conn.close()
+                raise
+            self._checkin(conn)
+            return _check_response(frame, frame_type, request_id)
+        raise ProtocolError(
+            f"request failed after {self.retries + 1} attempt(s): {last}"
+        ) from last
+
+    # -- request surface -----------------------------------------------
+    def ping(self, payload: bytes = b"fcbench") -> float:
+        """Round-trip ``payload``; returns the wall-clock seconds taken."""
+        start = time.perf_counter()
+        frame = self._request(PING, bytes(payload))
+        if frame.payload != bytes(payload):
+            raise ProtocolError("pong payload does not echo the ping")
+        return time.perf_counter() - start
+
+    def compress_array(
+        self,
+        array,
+        codec: str = DEFAULT_CODEC,
+        *,
+        chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+        policy: str = "heuristic",
+    ) -> bytes:
+        """Served mirror of :func:`repro.api.compress_array`.
+
+        Returns the FCF stream bytes — verbatim what the local call
+        produces, including v2 mixed-codec streams for
+        ``codec="auto"``.
+        """
+        payload = protocol.encode_compress_request(
+            np.asarray(array), codec, chunk_elements, policy
+        )
+        return self._request(COMPRESS, payload).payload
+
+    def decompress_array(self, blob) -> np.ndarray:
+        """Served mirror of :func:`repro.api.decompress_array`."""
+        frame = self._request(DECOMPRESS, bytes(blob))
+        return protocol.decode_array(frame.payload)
+
+    def select_explain(
+        self,
+        array,
+        *,
+        policy: str = "heuristic",
+        chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    ) -> dict:
+        """Per-chunk selection decisions, as ``fcbench select explain``."""
+        payload = protocol.encode_explain_request(
+            np.asarray(array), policy, chunk_elements
+        )
+        return protocol.decode_json(self._request(SELECT_EXPLAIN, payload).payload)
+
+    def stats(self) -> dict:
+        """The server's :meth:`ServiceMetrics.snapshot`."""
+        return protocol.decode_json(self._request(STATS, b"").payload)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class AsyncServiceClient:
+    """Asyncio client: one connection, the same request surface.
+
+    Use :meth:`connect` (or the async context manager) to dial::
+
+        async with await AsyncServiceClient.connect(host, port) as client:
+            blob = await client.compress_array(array, codec="auto")
+    """
+
+    def __init__(
+        self, reader, writer, *, max_payload: int = DEFAULT_MAX_PAYLOAD
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._parser = FrameParser(max_payload)
+        self._next_id = 0
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+    ) -> "AsyncServiceClient":
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+        return cls(reader, writer, max_payload=max_payload)
+
+    async def _request(self, frame_type: int, payload: bytes) -> Frame:
+        async with self._lock:  # one in-flight request per connection
+            self._next_id += 1
+            request_id = self._next_id
+            self._writer.write(encode_frame(frame_type, request_id, payload))
+            await self._writer.drain()
+            while True:
+                data = await self._reader.read(1 << 16)
+                if not data:
+                    raise ConnectionError(
+                        "server closed the connection mid-reply"
+                    )
+                frames = self._parser.feed(data)
+                if frames:
+                    if len(frames) > 1:
+                        raise ProtocolError(
+                            "server answered one request with "
+                            f"{len(frames)} frames"
+                        )
+                    return _check_response(frames[0], frame_type, request_id)
+
+    async def ping(self, payload: bytes = b"fcbench") -> float:
+        start = time.perf_counter()
+        frame = await self._request(PING, bytes(payload))
+        if frame.payload != bytes(payload):
+            raise ProtocolError("pong payload does not echo the ping")
+        return time.perf_counter() - start
+
+    async def compress_array(
+        self,
+        array,
+        codec: str = DEFAULT_CODEC,
+        *,
+        chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+        policy: str = "heuristic",
+    ) -> bytes:
+        payload = protocol.encode_compress_request(
+            np.asarray(array), codec, chunk_elements, policy
+        )
+        return (await self._request(COMPRESS, payload)).payload
+
+    async def decompress_array(self, blob) -> np.ndarray:
+        frame = await self._request(DECOMPRESS, bytes(blob))
+        return protocol.decode_array(frame.payload)
+
+    async def select_explain(
+        self,
+        array,
+        *,
+        policy: str = "heuristic",
+        chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    ) -> dict:
+        payload = protocol.encode_explain_request(
+            np.asarray(array), policy, chunk_elements
+        )
+        frame = await self._request(SELECT_EXPLAIN, payload)
+        return protocol.decode_json(frame.payload)
+
+    async def stats(self) -> dict:
+        return protocol.decode_json((await self._request(STATS, b"")).payload)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

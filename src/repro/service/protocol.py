@@ -1,0 +1,439 @@
+"""FCS — the length-prefixed binary wire protocol of the service.
+
+One protocol frame carries one request or one response::
+
+    +--------------------------------------------------------------+
+    | magic b"FCS1" (4 bytes)                                      |
+    | frame type (u8)    request id (uvarint)                      |
+    | payload length (uvarint, bounded)                            |
+    | payload bytes                                                |
+    | CRC-32 of the payload (u32 little-endian)                    |
+    +--------------------------------------------------------------+
+
+Integers are LEB128 varints (:mod:`repro.encodings.varint`), the same
+encoding the FCF frame format uses.  Every response frame's type is its
+request's type with the high bit set; error responses use the dedicated
+:data:`ERROR` type whose payload carries an error *code* mapped to the
+library's exception hierarchy — ``CorruptStreamError``,
+``SelectionError``, ``UnsupportedDtypeError`` — so a remote failure
+raises the same exception a local call would.
+
+Compressed payloads are FCF streams **verbatim**: the bytes a
+``compress`` response carries are exactly what
+:func:`repro.api.compress_array` returns locally (including v2
+mixed-codec streams for ``codec="auto"``), so a served stream can be
+written to disk, inspected with ``fcbench inspect``, and decoded by any
+FCF reader.
+
+This module is sans-I/O: :func:`encode_frame` builds bytes,
+:class:`FrameParser` consumes them incrementally, and the payload
+codecs translate requests/responses to and from Python values.  The
+server and both clients share it, and the fuzz tests attack it
+directly.  Malformed input of any kind raises
+:class:`~repro.errors.ProtocolError` — never an ``IndexError`` or a
+hang.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encodings.varint import encode_uvarint
+from repro.errors import (
+    CorruptStreamError,
+    ProtocolError,
+    SelectionError,
+    ServiceError,
+    UnsupportedDtypeError,
+)
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_PAYLOAD",
+    "PING",
+    "COMPRESS",
+    "DECOMPRESS",
+    "SELECT_EXPLAIN",
+    "STATS",
+    "ERROR",
+    "RESPONSE_BIT",
+    "REQUEST_TYPES",
+    "ERR_PROTOCOL",
+    "ERR_CORRUPT_STREAM",
+    "ERR_SELECTION",
+    "ERR_UNSUPPORTED_DTYPE",
+    "ERR_UNKNOWN_CODEC",
+    "ERR_TOO_LARGE",
+    "ERR_INTERNAL",
+    "Frame",
+    "FrameParser",
+    "encode_frame",
+    "response_type",
+    "encode_compress_request",
+    "decode_compress_request",
+    "encode_array",
+    "decode_array",
+    "encode_explain_request",
+    "decode_explain_request",
+    "encode_json",
+    "decode_json",
+    "encode_error",
+    "decode_error",
+    "error_code_for",
+    "raise_for_error",
+]
+
+#: Frame magic: "FCS" + protocol version digit.
+MAGIC = b"FCS1"
+PROTOCOL_VERSION = 1
+#: Default upper bound on one frame's payload (256 MiB) — a hostile
+#: length prefix must not drive the peer into a huge allocation.
+DEFAULT_MAX_PAYLOAD = 1 << 28
+
+# Request frame types; a response echoes the type with the high bit set.
+PING = 0x01
+COMPRESS = 0x02
+DECOMPRESS = 0x03
+SELECT_EXPLAIN = 0x04
+STATS = 0x05
+RESPONSE_BIT = 0x80
+#: Typed failure response (any request may answer with it).
+ERROR = 0xFF
+
+REQUEST_TYPES = (PING, COMPRESS, DECOMPRESS, SELECT_EXPLAIN, STATS)
+
+# Error codes carried by ERROR payloads, mapped to library exceptions.
+ERR_PROTOCOL = 1
+ERR_CORRUPT_STREAM = 2
+ERR_SELECTION = 3
+ERR_UNSUPPORTED_DTYPE = 4
+ERR_UNKNOWN_CODEC = 5
+ERR_TOO_LARGE = 6
+ERR_INTERNAL = 7
+
+_ERROR_EXCEPTIONS = {
+    ERR_PROTOCOL: ProtocolError,
+    ERR_CORRUPT_STREAM: CorruptStreamError,
+    ERR_SELECTION: SelectionError,
+    ERR_UNSUPPORTED_DTYPE: UnsupportedDtypeError,
+    ERR_UNKNOWN_CODEC: ServiceError,
+    ERR_TOO_LARGE: ProtocolError,
+    ERR_INTERNAL: ServiceError,
+}
+
+_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+_CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
+_MAX_NAME = 64
+_MAX_RANK = 8
+#: A uvarint below 2^64 occupies at most 10 bytes.
+_MAX_VARINT_BYTES = 10
+
+
+def response_type(request_type: int) -> int:
+    """The frame type answering ``request_type``."""
+    return request_type | RESPONSE_BIT
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded protocol frame."""
+
+    frame_type: int
+    request_id: int
+    payload: bytes
+
+    @property
+    def is_error(self) -> bool:
+        return self.frame_type == ERROR
+
+
+def encode_frame(frame_type: int, request_id: int, payload: bytes) -> bytes:
+    """Serialize one frame (header, payload, payload CRC-32)."""
+    if not 0 <= frame_type <= 0xFF:
+        raise ValueError(f"frame type {frame_type} out of range")
+    payload = bytes(payload)
+    return b"".join(
+        [
+            MAGIC,
+            bytes([frame_type]),
+            encode_uvarint(request_id),
+            encode_uvarint(len(payload)),
+            payload,
+            (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "little"),
+        ]
+    )
+
+
+def _take_uvarint(buf, pos: int, what: str) -> tuple[int, int] | None:
+    """Incremental uvarint: ``None`` while incomplete, raise when bad."""
+    result = 0
+    shift = 0
+    for index in range(_MAX_VARINT_BYTES):
+        if pos + index >= len(buf):
+            return None
+        byte = buf[pos + index]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos + index + 1
+        shift += 7
+    raise ProtocolError(f"{what} varint exceeds {_MAX_VARINT_BYTES} bytes")
+
+
+class FrameParser:
+    """Incremental frame decoder over an untrusted byte stream.
+
+    Feed it whatever the transport produced; it returns every complete
+    frame and keeps the remainder buffered.  Any framing violation —
+    bad magic, implausible payload length, CRC mismatch — raises
+    :class:`~repro.errors.ProtocolError`, after which the stream cannot
+    be re-synchronized and the connection must be closed.
+    """
+
+    def __init__(self, max_payload: int = DEFAULT_MAX_PAYLOAD) -> None:
+        self.max_payload = int(max_payload)
+        self._buffer = bytearray()
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data) -> list[Frame]:
+        """Consume ``data``; return the complete frames it finished."""
+        self._buffer.extend(data)
+        frames = []
+        while True:
+            frame, consumed = self._try_parse()
+            if frame is None:
+                break
+            del self._buffer[:consumed]
+            frames.append(frame)
+        return frames
+
+    def _try_parse(self) -> tuple[Frame | None, int]:
+        buf = self._buffer
+        if len(buf) < len(MAGIC) + 1:
+            return None, 0
+        if bytes(buf[: len(MAGIC)]) != MAGIC:
+            raise ProtocolError(
+                f"bad frame magic {bytes(buf[:4])!r} (expected {MAGIC!r})"
+            )
+        frame_type = buf[len(MAGIC)]
+        head = _take_uvarint(buf, len(MAGIC) + 1, "request id")
+        if head is None:
+            return None, 0
+        request_id, pos = head
+        head = _take_uvarint(buf, pos, "payload length")
+        if head is None:
+            return None, 0
+        length, pos = head
+        if length > self.max_payload:
+            raise ProtocolError(
+                f"frame declares a {length}-byte payload, "
+                f"limit is {self.max_payload}"
+            )
+        end = pos + length + 4
+        if len(buf) < end:
+            return None, 0
+        payload = bytes(buf[pos : pos + length])
+        crc = int.from_bytes(buf[pos + length : end], "little")
+        actual = zlib.crc32(payload) & 0xFFFFFFFF
+        if crc != actual:
+            raise ProtocolError(
+                f"frame payload checksum mismatch: header says {crc:#010x}, "
+                f"payload hashes to {actual:#010x}"
+            )
+        return Frame(frame_type, request_id, payload), end
+
+
+# ----------------------------------------------------------------------
+# Payload codecs
+# ----------------------------------------------------------------------
+def _encode_name(name: str, what: str) -> bytes:
+    encoded = name.encode()
+    if len(encoded) > _MAX_NAME:
+        raise ValueError(f"{what} {name!r} exceeds {_MAX_NAME} bytes")
+    return encode_uvarint(len(encoded)) + encoded
+
+
+def _decode_name(payload: bytes, pos: int, what: str) -> tuple[str, int]:
+    head = _take_uvarint(payload, pos, f"{what} length")
+    if head is None:
+        raise ProtocolError(f"truncated {what} in request payload")
+    length, pos = head
+    if length > _MAX_NAME:
+        raise ProtocolError(f"implausible {what} length {length}")
+    if pos + length > len(payload):
+        raise ProtocolError(f"truncated {what} in request payload")
+    try:
+        name = payload[pos : pos + length].decode()
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"undecodable {what}") from exc
+    return name, pos + length
+
+
+def _decode_varint(payload: bytes, pos: int, what: str) -> tuple[int, int]:
+    head = _take_uvarint(payload, pos, what)
+    if head is None:
+        raise ProtocolError(f"truncated {what} in payload")
+    return head
+
+
+def encode_array(array: np.ndarray) -> bytes:
+    """Serialize a float array: dtype code, shape, raw C-order bytes."""
+    array = np.asarray(array)
+    shape = array.shape  # before ascontiguousarray, which promotes 0-d
+    array = np.ascontiguousarray(array)
+    if array.dtype not in _DTYPE_CODES:
+        raise UnsupportedDtypeError(
+            f"the service carries float32/float64 arrays, got {array.dtype}"
+        )
+    parts = [bytes([_DTYPE_CODES[array.dtype]]), encode_uvarint(len(shape))]
+    for extent in shape:
+        parts.append(encode_uvarint(extent))
+    parts.append(array.tobytes())
+    return b"".join(parts)
+
+
+def decode_array(payload: bytes, pos: int = 0) -> np.ndarray:
+    """Invert :func:`encode_array`; validates shape against byte count."""
+    if pos >= len(payload):
+        raise ProtocolError("truncated array payload (missing dtype)")
+    dtype = _CODE_DTYPES.get(payload[pos])
+    if dtype is None:
+        raise ProtocolError(f"unknown array dtype code {payload[pos]}")
+    ndim, pos = _decode_varint(payload, pos + 1, "array rank")
+    if ndim > _MAX_RANK:
+        raise ProtocolError(f"implausible array rank {ndim}")
+    shape = []
+    for _ in range(ndim):
+        extent, pos = _decode_varint(payload, pos, "array extent")
+        shape.append(extent)
+    count = 1
+    for extent in shape:
+        count *= extent
+    body = payload[pos:]
+    if len(body) != count * dtype.itemsize:
+        raise ProtocolError(
+            f"array payload holds {len(body)} bytes, shape "
+            f"{tuple(shape)} x {dtype} needs {count * dtype.itemsize}"
+        )
+    return np.frombuffer(body, dtype=dtype).reshape(shape).copy()
+
+
+def encode_compress_request(
+    array: np.ndarray,
+    codec: str,
+    chunk_elements: int,
+    policy: str = "heuristic",
+) -> bytes:
+    """Build a ``COMPRESS`` payload: codec, policy, chunking, array."""
+    if chunk_elements < 1:
+        raise ValueError("chunk_elements must be positive")
+    return b"".join(
+        [
+            _encode_name(codec, "codec name"),
+            _encode_name(policy, "policy name"),
+            encode_uvarint(chunk_elements),
+            encode_array(array),
+        ]
+    )
+
+
+def decode_compress_request(
+    payload: bytes,
+) -> tuple[str, str, int, np.ndarray]:
+    """Parse a ``COMPRESS`` payload -> (codec, policy, chunking, array)."""
+    codec, pos = _decode_name(payload, 0, "codec name")
+    policy, pos = _decode_name(payload, pos, "policy name")
+    chunk_elements, pos = _decode_varint(payload, pos, "chunk_elements")
+    if chunk_elements < 1:
+        raise ProtocolError(f"implausible chunk_elements {chunk_elements}")
+    return codec, policy, chunk_elements, decode_array(payload, pos)
+
+
+def encode_explain_request(
+    array: np.ndarray, policy: str, chunk_elements: int
+) -> bytes:
+    """Build a ``SELECT_EXPLAIN`` payload: policy, chunking, array."""
+    if chunk_elements < 1:
+        raise ValueError("chunk_elements must be positive")
+    return b"".join(
+        [
+            _encode_name(policy, "policy name"),
+            encode_uvarint(chunk_elements),
+            encode_array(array),
+        ]
+    )
+
+
+def decode_explain_request(payload: bytes) -> tuple[str, int, np.ndarray]:
+    """Parse a ``SELECT_EXPLAIN`` payload -> (policy, chunking, array)."""
+    policy, pos = _decode_name(payload, 0, "policy name")
+    chunk_elements, pos = _decode_varint(payload, pos, "chunk_elements")
+    if chunk_elements < 1:
+        raise ProtocolError(f"implausible chunk_elements {chunk_elements}")
+    return policy, chunk_elements, decode_array(payload, pos)
+
+
+def encode_json(value: dict) -> bytes:
+    """Serialize a JSON payload (``STATS`` / ``SELECT_EXPLAIN`` answers)."""
+    return json.dumps(value, sort_keys=True).encode()
+
+
+def decode_json(payload: bytes) -> dict:
+    """Parse a JSON payload; malformed bytes are a protocol violation."""
+    try:
+        value = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable JSON payload: {exc}") from exc
+    if not isinstance(value, dict):
+        raise ProtocolError("JSON payload is not an object")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Typed error frames
+# ----------------------------------------------------------------------
+def encode_error(code: int, message: str) -> bytes:
+    """Build an ``ERROR`` payload: code byte + UTF-8 message."""
+    if not 0 < code <= 0xFF:
+        raise ValueError(f"error code {code} out of range")
+    return bytes([code]) + message.encode()
+
+
+def decode_error(payload: bytes) -> tuple[int, str]:
+    """Parse an ``ERROR`` payload -> (code, message)."""
+    if not payload:
+        raise ProtocolError("empty error payload")
+    return payload[0], payload[1:].decode(errors="replace")
+
+
+def error_code_for(exc: BaseException) -> int:
+    """Map a server-side exception to the wire error code."""
+    if isinstance(exc, ProtocolError):
+        return ERR_PROTOCOL
+    if isinstance(exc, CorruptStreamError):
+        return ERR_CORRUPT_STREAM
+    if isinstance(exc, SelectionError):
+        return ERR_SELECTION
+    if isinstance(exc, UnsupportedDtypeError):
+        return ERR_UNSUPPORTED_DTYPE
+    if isinstance(exc, KeyError):  # unknown compressor name
+        return ERR_UNKNOWN_CODEC
+    return ERR_INTERNAL
+
+
+def raise_for_error(frame: Frame) -> None:
+    """Raise the library exception an ``ERROR`` frame encodes.
+
+    Unknown codes degrade to :class:`~repro.errors.ServiceError` so a
+    newer server never crashes an older client with a bare ``KeyError``.
+    """
+    code, message = decode_error(frame.payload)
+    exc_type = _ERROR_EXCEPTIONS.get(code, ServiceError)
+    raise exc_type(f"server error {code}: {message}")

@@ -1,0 +1,646 @@
+"""Asyncio TCP compression server speaking the FCS wire protocol.
+
+:class:`CompressionServer` accepts connections, parses frames with the
+sans-I/O :class:`~repro.service.protocol.FrameParser`, and answers
+``compress`` / ``decompress`` / ``select-explain`` / ``stats`` /
+``ping`` requests.  Three serving behaviors matter beyond the happy
+path:
+
+* **Backpressure** — a connection's pending requests are bounded in
+  bytes (``max_inflight_bytes``): the handler simply stops reading the
+  socket while a batch is executing, and oversized pipelines are split
+  into bounded slices, so one greedy client cannot balloon server
+  memory.  TCP flow control pushes the stall back to the sender.
+* **Batching** — requests that arrive together (a pipelining client, or
+  many small frames in one TCP segment) are coalesced and executed
+  through a single :func:`repro.core.executor.map_ordered` fan-out,
+  sidestepping the GIL on codec hot paths when ``jobs > 1``.  Responses
+  are written in request order, and because every request is an
+  independent pure function of its payload, a batched execution is
+  byte-identical to a serial one.
+* **Graceful drain** — :meth:`CompressionServer.stop` stops accepting,
+  lets every in-flight batch finish and flush its responses, wakes idle
+  connections immediately, and only then force-closes stragglers.
+
+Malformed bytes never crash or hang the server: framing violations get
+a typed ``ERROR`` frame (code ``ERR_PROTOCOL``) and the connection is
+closed, because a stream with broken framing cannot be re-synchronized;
+request-level failures (corrupt FCF payloads, unknown codecs, selection
+misconfiguration) get a typed error frame and the connection lives on.
+
+:func:`serve_background` runs a server on a daemon thread with its own
+event loop — the embedding used by the tests, the load generator, and
+``examples/compression_service.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent import futures
+from functools import partial
+
+from repro.core.executor import map_ordered, resolve_jobs
+from repro.errors import ProtocolError, ReproError
+from repro.service import protocol
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    COMPRESS,
+    DECOMPRESS,
+    DEFAULT_MAX_PAYLOAD,
+    ERR_INTERNAL,
+    ERR_PROTOCOL,
+    ERROR,
+    PING,
+    REQUEST_TYPES,
+    SELECT_EXPLAIN,
+    STATS,
+    Frame,
+    FrameParser,
+    encode_error,
+    encode_frame,
+    response_type,
+)
+
+__all__ = [
+    "CompressionServer",
+    "ServerHandle",
+    "serve_background",
+    "run_server",
+]
+
+_READ_SIZE = 1 << 16
+_OP_NAMES = {
+    PING: "ping",
+    COMPRESS: "compress",
+    DECOMPRESS: "decompress",
+    SELECT_EXPLAIN: "select-explain",
+    STATS: "stats",
+}
+
+
+# ----------------------------------------------------------------------
+# Request execution (top-level and picklable: map_ordered may ship these
+# to worker processes when the server runs with jobs > 1)
+# ----------------------------------------------------------------------
+def _error_result(op: str, exc: BaseException) -> tuple:
+    code = protocol.error_code_for(exc)
+    message = f"{type(exc).__name__}: {exc}"
+    return ("err", code, message, {"op": op})
+
+
+def _execute_request(item: tuple) -> tuple:
+    """Execute one heavy request; returns an ("ok"|"err", ...) tuple.
+
+    Pure function of the request payload — no server state — which is
+    what makes batched execution byte-identical to serial execution and
+    lets the fan-out cross process boundaries.
+    """
+    frame_type, payload = item
+    op = _OP_NAMES[frame_type]
+    start = time.perf_counter()
+    try:
+        if frame_type == COMPRESS:
+            result = _execute_compress(payload)
+        elif frame_type == DECOMPRESS:
+            result = _execute_decompress(payload)
+        else:
+            result = _execute_explain(payload)
+    except Exception as exc:
+        result = _error_result(op, exc)
+    result[3]["seconds"] = time.perf_counter() - start
+    return result
+
+
+def _execute_compress(payload: bytes) -> tuple:
+    from repro.api.frames import AUTO_CODEC
+    from repro.api.session import compress_array
+
+    name, policy_name, chunk_elements, array = (
+        protocol.decode_compress_request(payload)
+    )
+    codec = name
+    if name == AUTO_CODEC:
+        from repro.select import resolve_policy
+
+        codec = resolve_policy(policy_name)
+    blob = compress_array(array, codec, chunk_elements=chunk_elements)
+    meta = {
+        "op": "compress",
+        "codec": name,
+        "bytes_in": int(array.nbytes),
+        "bytes_out": len(blob),
+    }
+    return ("ok", response_type(COMPRESS), blob, meta)
+
+
+def _execute_decompress(payload: bytes) -> tuple:
+    from repro.api.session import DecompressSession
+
+    with DecompressSession(bytes(payload)) as session:
+        codec = session.codec_name
+        array = session.read_all()
+    out = protocol.encode_array(array)
+    meta = {
+        "op": "decompress",
+        "codec": codec,
+        "bytes_in": len(payload),
+        "bytes_out": int(array.nbytes),
+    }
+    return ("ok", response_type(DECOMPRESS), out, meta)
+
+
+def _execute_explain(payload: bytes) -> tuple:
+    import dataclasses
+
+    from repro.select import resolve_policy
+
+    policy_name, chunk_elements, array = protocol.decode_explain_request(payload)
+    policy = resolve_policy(policy_name)
+    flat = array.ravel()
+    chunks = []
+    for start in range(0, max(flat.size, 1), chunk_elements):
+        chunk = flat[start : start + chunk_elements]
+        if chunk.size == 0:
+            break
+        decision = policy.decide(chunk)
+        chunks.append(
+            {
+                "start": start,
+                "codec": decision.codec,
+                "reason": decision.reason,
+                "features": dataclasses.asdict(decision.features),
+            }
+        )
+    answer = {
+        "policy": policy.name,
+        "candidates": list(policy.candidates),
+        "chunks": chunks,
+    }
+    meta = {"op": "select-explain", "bytes_in": int(array.nbytes)}
+    return ("ok", response_type(SELECT_EXPLAIN), protocol.encode_json(answer), meta)
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+class CompressionServer:
+    """Serve FCS requests over TCP.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port, published as
+        :attr:`port` after :meth:`start`.
+    jobs:
+        Worker processes for each batch's ``map_ordered`` fan-out
+        (``None`` → serial, ``0`` → auto-detect, mirroring the suite
+        executor).
+    batch_max:
+        Most requests one fan-out executes together.
+    batch_window:
+        Extra seconds a handler waits for more pipelined requests
+        before executing a batch.  ``0`` (default) batches only what
+        has already arrived — no added latency.
+    max_payload:
+        Per-frame payload bound; larger declared lengths are a
+        protocol error (the allocation never happens).
+    max_inflight_bytes:
+        Per-connection bound on the summed payload bytes of one
+        executing slice — the backpressure knob.
+    metrics:
+        A :class:`~repro.service.metrics.ServiceMetrics` to record
+        into; one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        jobs: int | None = None,
+        batch_max: int = 16,
+        batch_window: float = 0.0,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+        max_inflight_bytes: int = 1 << 26,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if batch_max < 1:
+            raise ValueError("batch_max must be positive")
+        if max_inflight_bytes < 1:
+            raise ValueError("max_inflight_bytes must be positive")
+        self.host = host
+        self.port = port
+        self.jobs = jobs
+        self.batch_max = int(batch_max)
+        self.batch_window = float(batch_window)
+        self.max_payload = int(max_payload)
+        self.max_inflight_bytes = int(max_inflight_bytes)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._server: asyncio.base_events.Server | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._drain = asyncio.Event()
+        self._stopped = asyncio.Event()
+        # Persistent worker pool for jobs > 1: paying process startup
+        # per batch would dwarf the codec work batching parallelizes.
+        # None = not yet created, False = unavailable (sandbox).
+        self._pool: futures.ProcessPoolExecutor | None | bool = None
+        # _run_batch executes on per-connection executor threads.
+        self._pool_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting; resolves the ephemeral port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_stopped(self) -> None:
+        """Run until :meth:`stop` completes (starts if needed)."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+
+    async def stop(self, grace: float = 5.0) -> None:
+        """Graceful drain: stop accepting, finish in-flight batches.
+
+        Idle connections wake immediately via the drain event; busy
+        ones get ``grace`` seconds to flush their current batch before
+        being cancelled.
+        """
+        self._drain.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        tasks = {task for task in self._tasks if not task.done()}
+        if tasks:
+            _, pending = await asyncio.wait(tasks, timeout=grace)
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+        if isinstance(self._pool, futures.ProcessPoolExecutor):
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
+        self._stopped.set()
+
+    async def __aenter__(self) -> "CompressionServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        self.metrics.connection_opened()
+        parser = FrameParser(self.max_payload)
+        try:
+            await self._connection_loop(reader, writer, parser)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer vanished mid-conversation; nothing to answer
+        finally:
+            self.metrics.connection_closed()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _connection_loop(self, reader, writer, parser) -> None:
+        while not self._drain.is_set():
+            data = await self._read_or_drain(reader)
+            if not data:
+                return
+            try:
+                frames = parser.feed(data)
+                if frames and self.batch_window > 0:
+                    frames = await self._gather_batch(reader, parser, frames)
+            except ProtocolError as exc:
+                # Broken framing cannot be re-synchronized: answer with
+                # a typed error, then drop the connection.
+                self.metrics.record_protocol_error()
+                await self._send(
+                    writer, ERROR, 0, encode_error(ERR_PROTOCOL, str(exc))
+                )
+                return
+            if frames:
+                await self._process_frames(writer, frames)
+
+    async def _read_or_drain(self, reader) -> bytes:
+        """Read socket data, waking immediately when drain begins."""
+        read = asyncio.ensure_future(reader.read(_READ_SIZE))
+        drain = asyncio.ensure_future(self._drain.wait())
+        done, _ = await asyncio.wait(
+            {read, drain}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if read in done:
+            drain.cancel()
+            return read.result()
+        read.cancel()
+        try:
+            await read
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        return b""
+
+    async def _gather_batch(
+        self, reader, parser, frames: list[Frame]
+    ) -> list[Frame]:
+        """Wait ``batch_window`` for more pipelined frames (bounded)."""
+        inflight = sum(len(frame.payload) for frame in frames)
+        while (
+            len(frames) < self.batch_max
+            and inflight < self.max_inflight_bytes
+        ):
+            try:
+                data = await asyncio.wait_for(
+                    reader.read(_READ_SIZE), self.batch_window
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                break
+            if not data:
+                break
+            more = parser.feed(data)  # ProtocolError handled by caller
+            frames.extend(more)
+            inflight += sum(len(frame.payload) for frame in more)
+        return frames
+
+    # -- batch execution -----------------------------------------------
+    async def _process_frames(self, writer, frames: list[Frame]) -> None:
+        """Execute frames in bounded slices, responses in frame order."""
+        start = 0
+        while start < len(frames):
+            end = start + 1
+            total = len(frames[start].payload)
+            while (
+                end < len(frames)
+                and end - start < self.batch_max
+                and total + len(frames[end].payload) <= self.max_inflight_bytes
+            ):
+                total += len(frames[end].payload)
+                end += 1
+            await self._execute_slice(writer, frames[start:end])
+            start = end
+
+    async def _execute_slice(self, writer, frames: list[Frame]) -> None:
+        heavy = [
+            (index, frame)
+            for index, frame in enumerate(frames)
+            if frame.frame_type in (COMPRESS, DECOMPRESS, SELECT_EXPLAIN)
+        ]
+        results: dict[int, tuple] = {}
+        if heavy:
+            items = [
+                (frame.frame_type, frame.payload) for _, frame in heavy
+            ]
+            # One fan-out for the whole slice.  Run it off the event
+            # loop so other connections stay responsive while this one
+            # crunches; with jobs > 1 the fan-out crosses process
+            # boundaries and sidesteps the GIL entirely.
+            loop = asyncio.get_running_loop()
+            outcomes = await loop.run_in_executor(
+                None, partial(self._run_batch, items)
+            )
+            self.metrics.record_batch(len(items))
+            for (index, _), outcome in zip(heavy, outcomes):
+                results[index] = outcome
+        for index, frame in enumerate(frames):
+            if index in results:
+                await self._respond(writer, frame, results[index])
+            else:
+                await self._respond_light(writer, frame)
+
+    async def _respond(self, writer, frame: Frame, outcome: tuple) -> None:
+        meta = outcome[3]
+        seconds = meta.pop("seconds", 0.0)
+        if outcome[0] == "ok":
+            _, ftype, payload, _ = outcome
+            self.metrics.record_request(
+                meta["op"],
+                seconds,
+                codec=meta.get("codec"),
+                bytes_in=meta.get("bytes_in", 0),
+                bytes_out=meta.get("bytes_out", 0),
+            )
+            await self._send(writer, ftype, frame.request_id, payload)
+        else:
+            _, code, message, _ = outcome
+            self.metrics.record_request(meta["op"], seconds, ok=False)
+            await self._send(
+                writer, ERROR, frame.request_id, encode_error(code, message)
+            )
+
+    async def _respond_light(self, writer, frame: Frame) -> None:
+        """Answer the inline request types (ping, stats, unknown)."""
+        start = time.perf_counter()
+        if frame.frame_type == PING:
+            self.metrics.record_request("ping", time.perf_counter() - start)
+            await self._send(
+                writer, response_type(PING), frame.request_id, frame.payload
+            )
+        elif frame.frame_type == STATS:
+            try:
+                payload = protocol.encode_json(self.metrics.snapshot())
+            except Exception as exc:  # never let stats kill a connection
+                self.metrics.record_request(
+                    "stats", time.perf_counter() - start, ok=False
+                )
+                await self._send(
+                    writer,
+                    ERROR,
+                    frame.request_id,
+                    encode_error(ERR_INTERNAL, f"{type(exc).__name__}: {exc}"),
+                )
+                return
+            self.metrics.record_request("stats", time.perf_counter() - start)
+            await self._send(
+                writer, response_type(STATS), frame.request_id, payload
+            )
+        else:
+            # A well-formed frame with a type this server does not
+            # speak: typed error, connection lives on.
+            op = _OP_NAMES.get(frame.frame_type, "unknown")
+            self.metrics.record_request(op, time.perf_counter() - start, ok=False)
+            await self._send(
+                writer,
+                ERROR,
+                frame.request_id,
+                encode_error(
+                    ERR_PROTOCOL,
+                    f"unknown request type {frame.frame_type:#04x} "
+                    f"(this server speaks {sorted(REQUEST_TYPES)})",
+                ),
+            )
+
+    def _run_batch(self, items: list[tuple]) -> list[tuple]:
+        """Execute one slice's heavy items (runs on an executor thread).
+
+        With ``jobs > 1`` the work goes to a *persistent* process pool
+        — created once, reused across batches, so per-batch latency
+        carries no pool-startup cost.  A pool that cannot start
+        (sandboxes) or breaks mid-batch degrades to
+        :func:`~repro.core.executor.map_ordered`'s serial path; the
+        results are identical either way because every item is a pure
+        function of its payload.
+        """
+        pool = self._worker_pool()
+        if pool is not None and len(items) > 1:
+            try:
+                return list(pool.map(_execute_request, items))
+            except Exception:
+                # Broken pool: drop it (a later batch may rebuild) and
+                # answer this one serially.
+                pool.shutdown(wait=False, cancel_futures=True)
+                with self._pool_lock:
+                    if self._pool is pool:
+                        self._pool = None
+        return map_ordered(_execute_request, items, jobs=1)
+
+    def _worker_pool(self) -> futures.ProcessPoolExecutor | None:
+        with self._pool_lock:
+            if self._pool is None:
+                jobs = resolve_jobs(self.jobs)
+                if jobs <= 1:
+                    self._pool = False
+                else:
+                    try:
+                        self._pool = futures.ProcessPoolExecutor(
+                            max_workers=jobs
+                        )
+                    except (OSError, PermissionError):
+                        self._pool = False  # fork-less sandbox: stay serial
+            pool = self._pool
+        return pool if isinstance(pool, futures.ProcessPoolExecutor) else None
+
+    async def _send(
+        self, writer, frame_type: int, request_id: int, payload: bytes
+    ) -> None:
+        writer.write(encode_frame(frame_type, request_id, payload))
+        await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Background-thread embedding (tests, load generator, examples, CLI-less)
+# ----------------------------------------------------------------------
+class ServerHandle:
+    """A server running on a daemon thread with its own event loop."""
+
+    def __init__(self) -> None:
+        self.host = ""
+        self.port = 0
+        self.server: CompressionServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        assert self.server is not None
+        return self.server.metrics
+
+    def stop(self, grace: float = 5.0) -> None:
+        """Drain the server and join its thread (idempotent)."""
+        if self._loop is None or self.server is None:
+            return
+        if self._thread is not None and self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.stop(grace), self._loop
+            )
+            try:
+                # concurrent.futures.TimeoutError only became an alias
+                # of the builtin in 3.11; catch both for 3.10.
+                future.result(timeout=grace + 5.0)
+            except (TimeoutError, futures.TimeoutError, RuntimeError):
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._loop = None
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def serve_background(
+    host: str = "127.0.0.1", port: int = 0, **kwargs
+) -> ServerHandle:
+    """Start a :class:`CompressionServer` on a daemon thread.
+
+    Blocks until the server is accepting (or failed to bind, in which
+    case the bind error is re-raised here).  Returns a
+    :class:`ServerHandle` whose ``host``/``port`` a client can dial and
+    whose :meth:`~ServerHandle.stop` performs the graceful drain.
+    """
+    handle = ServerHandle()
+    started = threading.Event()
+
+    async def _main() -> None:
+        server = CompressionServer(host, port, **kwargs)
+        try:
+            await server.start()
+        except BaseException as exc:
+            handle._error = exc
+            started.set()
+            raise
+        handle.server = server
+        handle.host, handle.port = host, server.port
+        handle._loop = asyncio.get_running_loop()
+        started.set()
+        await server.serve_until_stopped()
+
+    def _run() -> None:
+        try:
+            asyncio.run(_main())
+        except BaseException:
+            started.set()  # never leave the parent waiting
+
+    handle._thread = threading.Thread(
+        target=_run, name="fcbench-service", daemon=True
+    )
+    handle._thread.start()
+    if not started.wait(timeout=30.0):
+        raise ReproError("service thread failed to start within 30s")
+    if handle._error is not None:
+        raise handle._error
+    return handle
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    on_ready=None,
+    grace: float = 5.0,
+    **kwargs,
+) -> ServiceMetrics:
+    """Run a server in the foreground until interrupted (the CLI path).
+
+    ``on_ready(server)`` fires once the socket is bound — the CLI
+    prints the address there.  Ctrl-C triggers the graceful drain.
+    Returns the final metrics so the caller can persist a snapshot.
+    """
+    server = CompressionServer(host, port, **kwargs)
+
+    async def _main() -> None:
+        await server.start()
+        if on_ready is not None:
+            on_ready(server)
+        try:
+            await server.serve_until_stopped()
+        finally:
+            if not server._stopped.is_set():
+                await server.stop(grace)
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return server.metrics

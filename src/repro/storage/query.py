@@ -28,7 +28,7 @@ from repro.perf.timing import PerformanceModel
 from repro.storage.dataframe import DataFrame
 from repro.storage.iosim import DEFAULT_DISK, DiskModel
 
-__all__ = ["QueryCost", "QueryBenchmark"]
+__all__ = ["QueryCost", "QueryBenchmark", "RangeScan"]
 
 #: Per-row full-scan cost calibrated against Table 11 (~13-30 ns/row on
 #: the paper's Pandas + Xeon 6126 setup).
@@ -48,6 +48,16 @@ class QueryCost:
     @property
     def total_ms(self) -> float:
         return self.read_ms + self.decode_ms + self.query_ms
+
+
+@dataclass(frozen=True)
+class RangeScan:
+    """Result of a chunk-granular range read through the stream index."""
+
+    values: np.ndarray
+    n_chunks: int  # chunk frames the range overlapped (0 for empty)
+    bytes_read: int  # compressed payload bytes actually fetched
+    read_ms: float  # modeled I/O time for those bytes/chunks
 
 
 class QueryBenchmark:
@@ -113,4 +123,40 @@ class QueryBenchmark:
             read_ms=read_s * 1e3,
             decode_ms=decode_s * 1e3,
             query_ms=query_s * 1e3,
+        )
+
+    def run_range(self, session, start: int, stop: int) -> RangeScan:
+        """Range read over an FCF stream: decode only overlapping chunks.
+
+        ``session`` is a :class:`repro.api.DecompressSession`; bounds
+        are normalized the way the session itself normalizes them —
+        clamped to ``[0, n_elements]``, with an empty or reversed range
+        (``stop <= start``) reading nothing at all: zero chunks, zero
+        bytes, zero modeled I/O time.  A range reaching into the final
+        partial chunk touches exactly that chunk's frame.
+        """
+        total = session.n_elements
+        start = max(0, int(start))
+        stop = min(int(stop), total)
+        if stop <= start:
+            return RangeScan(
+                values=np.empty(0, dtype=session.dtype),
+                n_chunks=0,
+                bytes_read=0,
+                read_ms=0.0,
+            )
+        starts = np.zeros(len(session.frames) + 1, dtype=np.int64)
+        np.cumsum([f.n_elements for f in session.frames], out=starts[1:])
+        first = int(np.searchsorted(starts, start, side="right")) - 1
+        last = int(np.searchsorted(starts, stop, side="left")) - 1
+        before = session.bytes_read
+        values = session.read(start, stop)
+        return RangeScan(
+            values=values,
+            n_chunks=last - first + 1,
+            bytes_read=session.bytes_read - before,
+            read_ms=self.disk.read_seconds(
+                session.bytes_read - before, n_chunks=last - first + 1
+            )
+            * 1e3,
         )

@@ -1,0 +1,51 @@
+"""The legacy one-shot shims emit one DeprecationWarning per process."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.compressors import base, get_compressor
+
+
+@pytest.fixture
+def fresh_warning_state(monkeypatch):
+    """Reset the once-per-process latch so this test observes the warning."""
+    monkeypatch.setattr(base, "_SHIM_WARNING_EMITTED", False)
+
+
+def test_compress_shim_warns_once(fresh_warning_state):
+    comp = get_compressor("gorilla")
+    arr = np.linspace(0.0, 1.0, 64)
+    with pytest.warns(DeprecationWarning, match="compress_array"):
+        blob = comp.compress(arr)
+    # Second call (and the decompress shim) stay silent: the latch is set.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        comp.compress(arr)
+        out = comp.decompress(blob)
+    assert np.array_equal(out, arr)
+
+
+def test_decompress_shim_warns_too(fresh_warning_state):
+    comp = get_compressor("chimp")
+    arr = np.linspace(0.0, 1.0, 64)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        blob = comp.compress(arr)
+    base._SHIM_WARNING_EMITTED = False
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        comp.decompress(blob)
+
+
+def test_warning_points_at_the_caller(fresh_warning_state):
+    """stacklevel must attribute the warning to user code, not the shim."""
+    comp = get_compressor("gorilla")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DeprecationWarning)
+        comp.compress(np.linspace(0.0, 1.0, 16))
+    shim_warnings = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(shim_warnings) == 1
+    assert shim_warnings[0].filename == __file__

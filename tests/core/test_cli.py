@@ -227,3 +227,31 @@ def test_bench_writes_snapshot_and_diffs(tmp_path, capsys):
 def test_bench_rejects_unknown_method(capsys):
     assert main(["bench", "--methods", "nope"]) == 2
     assert "unknown methods" in capsys.readouterr().err
+
+
+def test_version_flag_prints_package_version(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"fcbench {repro.__version__}"
+
+
+def test_client_requires_subcommand(capsys):
+    with pytest.raises(SystemExit) as excinfo:  # argparse's own exit
+        main(["client"])
+    assert excinfo.value.code == 2
+
+
+def test_client_refused_connection_is_a_clean_error(tmp_path, capsys):
+    import socket
+
+    # Grab a port, then close it so nothing is listening there.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    code = main(["client", "--port", str(port), "--retries", "0", "ping"])
+    assert code == 2
+    assert "error" in capsys.readouterr().err

@@ -17,6 +17,7 @@ import repro.core.runner
 import repro.core.suite
 import repro.encodings.vectorbit
 import repro.perf.bench
+import repro.perf.loadgen
 
 
 @pytest.mark.parametrize(
@@ -27,6 +28,7 @@ import repro.perf.bench
         repro.cli,
         repro.encodings.vectorbit,
         repro.perf.bench,
+        repro.perf.loadgen,
     ],
     ids=lambda m: m.__name__,
 )

@@ -1,0 +1,256 @@
+"""Wire-protocol units and corruption fuzz (mirrors tests/api style).
+
+Whatever bytes the parser is fed — truncated frames, single-byte
+flips, hostile length prefixes — it must either produce valid frames
+or raise :class:`~repro.errors.ProtocolError`; any other exception is
+an internals leak, and an unbounded allocation or loop is a DoS.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CorruptStreamError,
+    ProtocolError,
+    SelectionError,
+    ServiceError,
+    UnsupportedDtypeError,
+)
+from repro.service import protocol
+from repro.service.protocol import (
+    COMPRESS,
+    ERR_CORRUPT_STREAM,
+    ERR_SELECTION,
+    ERROR,
+    MAGIC,
+    PING,
+    Frame,
+    FrameParser,
+    encode_frame,
+    response_type,
+)
+
+
+def _roundtrip(frame_type, request_id, payload):
+    frames = FrameParser().feed(encode_frame(frame_type, request_id, payload))
+    assert len(frames) == 1
+    return frames[0]
+
+
+# ----------------------------------------------------------------------
+# Framing units
+# ----------------------------------------------------------------------
+def test_frame_roundtrip():
+    frame = _roundtrip(PING, 7, b"hello")
+    assert frame.frame_type == PING
+    assert frame.request_id == 7
+    assert frame.payload == b"hello"
+
+
+def test_empty_payload_roundtrip():
+    frame = _roundtrip(PING, 0, b"")
+    assert frame.payload == b""
+
+
+def test_large_request_id_roundtrip():
+    frame = _roundtrip(PING, 2**40, b"x")
+    assert frame.request_id == 2**40
+
+
+def test_multiple_frames_in_one_feed():
+    blob = encode_frame(PING, 1, b"a") + encode_frame(PING, 2, b"bb")
+    frames = FrameParser().feed(blob)
+    assert [f.request_id for f in frames] == [1, 2]
+    assert [f.payload for f in frames] == [b"a", b"bb"]
+
+
+def test_incremental_single_byte_feeding():
+    blob = encode_frame(COMPRESS, 3, b"payload bytes")
+    parser = FrameParser()
+    collected = []
+    for index in range(len(blob)):
+        collected += parser.feed(blob[index : index + 1])
+    assert len(collected) == 1
+    assert collected[0].payload == b"payload bytes"
+    assert parser.buffered_bytes == 0
+
+
+def test_payload_over_limit_rejected_before_allocation():
+    parser = FrameParser(max_payload=64)
+    huge = encode_frame(PING, 1, bytes(65))
+    with pytest.raises(ProtocolError, match="limit"):
+        parser.feed(huge)
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ProtocolError, match="magic"):
+        FrameParser().feed(b"XXXX" + bytes(20))
+
+
+def test_crc_mismatch_rejected():
+    blob = bytearray(encode_frame(PING, 1, b"abcdef"))
+    blob[-6] ^= 0x10  # flip a payload byte, leave the CRC alone
+    with pytest.raises(ProtocolError, match="checksum"):
+        FrameParser().feed(bytes(blob))
+
+
+# ----------------------------------------------------------------------
+# Corruption fuzz: truncation and bit flips at every offset
+# ----------------------------------------------------------------------
+def test_truncation_never_raises_and_never_yields_a_frame():
+    blob = encode_frame(COMPRESS, 9, b"0123456789abcdef")
+    for cut in range(len(blob)):
+        parser = FrameParser()
+        frames = parser.feed(blob[:cut])
+        assert frames == []  # incomplete, never partial output
+
+
+def test_single_byte_flips_are_rejected_or_reframed():
+    blob = encode_frame(COMPRESS, 5, b"sensitive payload")
+    type_offset = len(MAGIC)
+    for offset in range(len(blob)):
+        damaged = bytearray(blob)
+        damaged[offset] ^= 0xFF
+        parser = FrameParser(max_payload=1 << 16)
+        try:
+            frames = parser.feed(bytes(damaged))
+        except ProtocolError:
+            continue  # the expected rejection
+        except BaseException as exc:  # noqa: BLE001 - the point of the test
+            pytest.fail(
+                f"flip at {offset} leaked {type(exc).__name__}: {exc}"
+            )
+        # The only flip the CRC cannot see is the frame-type byte (it
+        # is outside the payload checksum): the frame still parses,
+        # and the server answers it with a typed unknown-type error.
+        for frame in frames:
+            assert offset == type_offset
+            assert frame.payload == b"sensitive payload"
+
+
+def test_hostile_length_prefix_never_allocates():
+    # 2^62 declared payload bytes: must die on the declared length.
+    head = MAGIC + bytes([PING]) + b"\x01"
+    hostile = head + b"\x80\x80\x80\x80\x80\x80\x80\x80\x3e"
+    with pytest.raises(ProtocolError):
+        FrameParser().feed(hostile)
+
+
+def test_unterminated_varint_rejected():
+    head = MAGIC + bytes([PING]) + b"\x80" * 11
+    with pytest.raises(ProtocolError, match="varint"):
+        FrameParser().feed(head)
+
+
+# ----------------------------------------------------------------------
+# Payload codecs
+# ----------------------------------------------------------------------
+def test_array_codec_roundtrip_shapes():
+    for array in (
+        np.linspace(0, 1, 12, dtype=np.float32).reshape(3, 4),
+        np.arange(6, dtype=np.float64).reshape(2, 3),
+        np.empty(0, dtype=np.float64),
+        np.array(3.5),  # rank 0
+    ):
+        out = protocol.decode_array(protocol.encode_array(array))
+        assert out.dtype == array.dtype
+        assert out.shape == array.shape
+        assert np.array_equal(out, array, equal_nan=True)
+
+
+def test_array_codec_rejects_non_float():
+    with pytest.raises(UnsupportedDtypeError):
+        protocol.encode_array(np.arange(4))
+
+
+def test_array_codec_rejects_size_mismatch():
+    payload = bytearray(protocol.encode_array(np.arange(4.0)))
+    with pytest.raises(ProtocolError, match="bytes"):
+        protocol.decode_array(bytes(payload[:-1]))
+
+
+def test_array_codec_fuzz_flips():
+    payload = protocol.encode_array(np.linspace(0, 1, 32))
+    for offset in range(min(6, len(payload))):  # header region
+        damaged = bytearray(payload)
+        damaged[offset] ^= 0xFF
+        try:
+            protocol.decode_array(bytes(damaged))
+        except ProtocolError:
+            pass
+        except BaseException as exc:  # noqa: BLE001
+            pytest.fail(f"flip at {offset} leaked {type(exc).__name__}")
+
+
+def test_compress_request_roundtrip():
+    array = np.linspace(0, 1, 100)
+    payload = protocol.encode_compress_request(array, "gorilla", 64, "measured")
+    codec, policy, chunk_elements, out = protocol.decode_compress_request(
+        payload
+    )
+    assert (codec, policy, chunk_elements) == ("gorilla", "measured", 64)
+    assert np.array_equal(out, array)
+
+
+def test_compress_request_fuzz_truncation():
+    payload = protocol.encode_compress_request(
+        np.linspace(0, 1, 16), "gorilla", 8
+    )
+    for cut in range(len(payload)):
+        try:
+            protocol.decode_compress_request(payload[:cut])
+        except (ProtocolError, UnsupportedDtypeError):
+            pass
+        except BaseException as exc:  # noqa: BLE001
+            pytest.fail(f"cut at {cut} leaked {type(exc).__name__}")
+
+
+def test_explain_request_roundtrip():
+    array = np.linspace(0, 1, 30)
+    policy, chunk_elements, out = protocol.decode_explain_request(
+        protocol.encode_explain_request(array, "heuristic", 10)
+    )
+    assert (policy, chunk_elements) == ("heuristic", 10)
+    assert np.array_equal(out, array)
+
+
+def test_json_payload_rejects_garbage():
+    with pytest.raises(ProtocolError):
+        protocol.decode_json(b"\xff\xfe not json")
+    with pytest.raises(ProtocolError):
+        protocol.decode_json(b"[1, 2]")  # not an object
+
+
+# ----------------------------------------------------------------------
+# Typed error frames
+# ----------------------------------------------------------------------
+def test_error_code_mapping_is_bidirectional():
+    cases = [
+        (CorruptStreamError("x"), ERR_CORRUPT_STREAM, CorruptStreamError),
+        (SelectionError("x"), ERR_SELECTION, SelectionError),
+        (UnsupportedDtypeError("x"), protocol.ERR_UNSUPPORTED_DTYPE,
+         UnsupportedDtypeError),
+        (KeyError("nosuch"), protocol.ERR_UNKNOWN_CODEC, ServiceError),
+        (RuntimeError("boom"), protocol.ERR_INTERNAL, ServiceError),
+    ]
+    for exc, expected_code, expected_type in cases:
+        code = protocol.error_code_for(exc)
+        assert code == expected_code
+        frame = Frame(ERROR, 1, protocol.encode_error(code, str(exc)))
+        with pytest.raises(expected_type):
+            protocol.raise_for_error(frame)
+
+
+def test_unknown_error_code_degrades_to_service_error():
+    frame = Frame(ERROR, 1, protocol.encode_error(0xEE, "from the future"))
+    with pytest.raises(ServiceError, match="future"):
+        protocol.raise_for_error(frame)
+
+
+def test_empty_error_payload_is_a_protocol_error():
+    with pytest.raises(ProtocolError):
+        protocol.raise_for_error(Frame(ERROR, 1, b""))
+
+
+def test_response_type_sets_high_bit():
+    assert response_type(COMPRESS) == COMPRESS | 0x80

@@ -1,7 +1,9 @@
 """Tests for the query micro-benchmark engine (Table 11)."""
 
+import numpy as np
 import pytest
 
+from repro.api.session import DecompressSession, compress_array
 from repro.compressors import get_compressor
 from repro.data import get_spec, load
 from repro.storage.query import QueryBenchmark
@@ -55,3 +57,55 @@ def test_serial_decoders_dominate_total(bench):
     fpzip = bench.run(get_compressor("fpzip"), spec.name, arr,
                       spec.paper_bytes, spec.paper_extent[0])
     assert fpzip.decode_ms > 10 * fpzip.read_ms
+
+
+# -- range reads through the stream index (run_range edge cases) -------
+@pytest.fixture(scope="module")
+def range_stream():
+    # 5 full chunks of 100 elements plus a final partial chunk of 37.
+    arr = np.cumsum(np.ones(537)) * 0.5
+    blob = compress_array(arr, "gorilla", chunk_elements=100)
+    with DecompressSession(blob) as session:
+        yield arr, session
+
+
+def test_range_empty(bench, range_stream):
+    arr, session = range_stream
+    scan = bench.run_range(session, 200, 200)
+    assert scan.values.size == 0
+    assert scan.n_chunks == 0
+    assert scan.bytes_read == 0
+    assert scan.read_ms == 0.0
+
+
+def test_range_reversed_bounds(bench, range_stream):
+    arr, session = range_stream
+    scan = bench.run_range(session, 400, 100)
+    assert scan.values.size == 0
+    assert scan.n_chunks == 0
+    assert scan.read_ms == 0.0
+
+
+def test_range_spanning_final_partial_chunk(bench, range_stream):
+    arr, session = range_stream
+    scan = bench.run_range(session, 480, 537)
+    assert np.array_equal(scan.values, arr[480:537])
+    assert scan.n_chunks == 2  # last full chunk + the 37-element tail
+    assert scan.bytes_read > 0
+    assert scan.read_ms > 0
+
+
+def test_range_clamps_past_the_end(bench, range_stream):
+    arr, session = range_stream
+    scan = bench.run_range(session, 530, 10_000)
+    assert np.array_equal(scan.values, arr[530:])
+    assert scan.n_chunks == 1  # only the final partial chunk
+
+
+def test_range_read_cost_counts_only_touched_chunks(bench, range_stream):
+    arr, session = range_stream
+    one = bench.run_range(session, 0, 50)
+    many = bench.run_range(session, 0, 537)
+    assert one.n_chunks == 1 and many.n_chunks == 6
+    assert one.bytes_read < many.bytes_read
+    assert one.read_ms < many.read_ms
