@@ -278,9 +278,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     def on_cell(cell: dict) -> None:
         if args.quiet:
             return
-        if "throughput_mbs" in cell:  # a loadgen (service) cell
+        if "throughput_mbs" in cell:  # a loadgen (service/cluster) cell
+            label = (
+                f"cluster[{cell['nodes']}]" if "nodes" in cell else "service"
+            )
             print(
-                f"service {cell['codec']:<16} "
+                f"{label:<10} {cell['codec']:<16} "
                 f"{cell['completed_round_trips']:3d} round trips  "
                 f"p50 {cell['compress']['p50_ms']:6.1f}ms  "
                 f"p99 {cell['compress']['p99_ms']:6.1f}ms  "
@@ -652,6 +655,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 flush=True,
             )
 
+    topology = None
+    if args.topology_json:
+        from repro.errors import ProtocolError
+        from repro.service.protocol import validate_topology
+
+        try:
+            with open(args.topology_json) as fh:
+                topology = validate_topology(json.load(fh))
+        except (OSError, json.JSONDecodeError, ProtocolError) as exc:
+            raise SystemExit(
+                f"error: bad topology file {args.topology_json!r}: {exc}"
+            ) from exc
+
     metrics = run_server(
         args.host,
         args.port,
@@ -660,6 +676,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_max=args.batch_max,
         batch_window=args.batch_window,
         grace=args.grace,
+        node_id=args.node_id,
+        topology=topology,
     )
     snapshot = metrics.snapshot()
     if args.metrics_json:
@@ -742,6 +760,152 @@ def _cmd_client(args: argparse.Namespace) -> int:
         ) from exc
     except ReproError as exc:
         raise SystemExit(f"error: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# fcbench cluster (sharded multi-node serving)
+# ----------------------------------------------------------------------
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import signal
+    import time as _time
+
+    from repro.cluster import ClusterSupervisor
+    from repro.errors import ClusterError
+
+    try:
+        supervisor = ClusterSupervisor(
+            args.nodes,
+            host=args.host,
+            replication=args.replication,
+            vnodes=args.vnodes,
+            jobs=args.jobs,
+            batch_window=args.batch_window,
+            health_interval=args.health_interval,
+            auto_restart=not args.no_restart,
+            node_grace=args.grace,
+            state_dir=args.state_dir,
+            control_port=args.control_port,
+        )
+        supervisor.start()
+    except (ClusterError, OSError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+    stop = []
+
+    def _signal(signum, frame):  # noqa: ARG001 - signal handler shape
+        stop.append(signum)
+
+    signal.signal(signal.SIGINT, _signal)
+    signal.signal(signal.SIGTERM, _signal)
+
+    # Machine-parseable lines: CI greps the control address and the
+    # state-file path.
+    print(
+        f"cluster control on {supervisor.control_host}:"
+        f"{supervisor.control_port}",
+        flush=True,
+    )
+    print(f"cluster state file {supervisor.state_path}", flush=True)
+    for entry in supervisor.status()["nodes"]:
+        print(
+            f"  node {entry['id']} serving on "
+            f"{entry['host']}:{entry['port']} (pid {entry['pid']})",
+            flush=True,
+        )
+    if not args.quiet:
+        print(
+            f"  replication={supervisor.replication} "
+            f"vnodes={supervisor.vnodes} "
+            f"restart={'on' if not args.no_restart else 'off'}  "
+            "(Ctrl-C stops the cluster)",
+            flush=True,
+        )
+    try:
+        while not stop:
+            _time.sleep(0.2)
+    finally:
+        supervisor.stop()
+    if not args.quiet:
+        restarts = sum(
+            entry["restarts"] for entry in supervisor.status()["nodes"]
+        )
+        print(f"cluster stopped ({restarts} node restart(s) over its life)")
+    return 0
+
+
+def _cluster_control_client(args: argparse.Namespace):
+    """Dial the supervisor control endpoint from --host/--port or --state."""
+    import json
+
+    from repro.service.client import ServiceClient
+
+    host, port = args.host, args.port
+    if port is None:
+        state_path = args.state or "cluster.json"
+        try:
+            with open(state_path) as fh:
+                state = json.load(fh)
+            host = state["control"]["host"]
+            port = int(state["control"]["port"])
+        except (OSError, KeyError, ValueError, TypeError) as exc:
+            raise SystemExit(
+                f"error: cannot read cluster state {state_path!r}: {exc} "
+                "(pass --port, or --state pointing at the supervisor's "
+                "cluster.json)"
+            ) from exc
+    return ServiceClient(host, port, retries=0, timeout=args.timeout)
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+
+    try:
+        with _cluster_control_client(args) as client:
+            status = client.cluster_control("status")
+    except ConnectionRefusedError as exc:
+        raise SystemExit(f"error: no cluster supervisor reachable ({exc})") from exc
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    control = status["control"]
+    print(
+        f"supervisor pid {status['supervisor_pid']} on "
+        f"{control['host']}:{control['port']}  "
+        f"replication={status['replication']} vnodes={status['vnodes']}"
+    )
+    rows = [
+        [
+            entry["id"],
+            f"{entry['host']}:{entry['port']}",
+            entry["state"],
+            str(entry["pid"] or "-"),
+            str(entry["restarts"]),
+        ]
+        for entry in status["nodes"]
+    ]
+    print(format_table(["node", "address", "state", "pid", "restarts"], rows))
+    return 0
+
+
+def _cmd_cluster_drain(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+
+    try:
+        with _cluster_control_client(args) as client:
+            entry = client.cluster_control("drain", args.node)
+    except ConnectionRefusedError as exc:
+        raise SystemExit(f"error: no cluster supervisor reachable ({exc})") from exc
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    print(
+        f"drained {entry['id']} ({entry['host']}:{entry['port']}): "
+        f"state={entry['state']} — traffic now fails over to its replicas"
+    )
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -1109,6 +1273,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the final metrics snapshot to this path on shutdown",
     )
     p_serve.add_argument(
+        "--node-id",
+        default=None,
+        help="this server's identity inside a cluster "
+        "(default: host:port)",
+    )
+    p_serve.add_argument(
+        "--topology-json",
+        default=None,
+        help="cluster topology file this node serves for "
+        "cluster-topology requests (set by the cluster supervisor)",
+    )
+    p_serve.add_argument(
         "--quiet", action="store_true", help="address line only"
     )
     p_serve.set_defaults(func=_cmd_serve)
@@ -1176,6 +1352,130 @@ def build_parser() -> argparse.ArgumentParser:
     c_dec.add_argument("output", help="destination .npy file")
     c_dec.add_argument("--quiet", action="store_true", help="no summary line")
     c_dec.set_defaults(func=_cmd_client)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="run and operate a sharded multi-node compression cluster",
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+    cl_serve = cluster_sub.add_parser(
+        "serve",
+        help="spawn N compression nodes under a health-checking "
+        "supervisor (consistent-hash sharding, replica failover)",
+    )
+    cl_serve.add_argument(
+        "--nodes",
+        type=int,
+        default=3,
+        help="node processes to spawn (default %(default)s)",
+    )
+    cl_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    cl_serve.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="replica-set size per stream; ≥2 survives a node loss "
+        "(default %(default)s)",
+    )
+    cl_serve.add_argument(
+        "--vnodes",
+        type=int,
+        default=128,
+        help="virtual nodes per physical node on the hash ring "
+        "(default %(default)s)",
+    )
+    cl_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes per node request batch (default: serial)",
+    )
+    cl_serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        help="per-node pipelining batch window in seconds "
+        "(default %(default)s)",
+    )
+    cl_serve.add_argument(
+        "--control-port",
+        type=int,
+        default=0,
+        help="supervisor control port; 0 picks an ephemeral port "
+        "(default %(default)s)",
+    )
+    cl_serve.add_argument(
+        "--health-interval",
+        type=float,
+        default=0.25,
+        help="seconds between node health sweeps (default %(default)s)",
+    )
+    cl_serve.add_argument(
+        "--no-restart",
+        action="store_true",
+        help="do not respawn nodes whose process died",
+    )
+    cl_serve.add_argument(
+        "--grace",
+        type=float,
+        default=3.0,
+        help="drain grace before SIGKILL on node shutdown "
+        "(default %(default)ss)",
+    )
+    cl_serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="directory for the state file, topology file, and node "
+        "logs (default: a fresh temp directory)",
+    )
+    cl_serve.add_argument(
+        "--quiet", action="store_true", help="address lines only"
+    )
+    cl_serve.set_defaults(func=_cmd_cluster_serve)
+
+    def _add_control_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--host",
+            default="127.0.0.1",
+            help="supervisor control address (default %(default)s)",
+        )
+        sub_parser.add_argument(
+            "--port",
+            type=int,
+            default=None,
+            help="supervisor control port (default: read from --state)",
+        )
+        sub_parser.add_argument(
+            "--state",
+            default=None,
+            help="cluster state file written by `fcbench cluster serve` "
+            "(default ./cluster.json when --port is omitted)",
+        )
+        sub_parser.add_argument(
+            "--timeout",
+            type=float,
+            default=10.0,
+            help="control request timeout (default %(default)ss)",
+        )
+
+    cl_status = cluster_sub.add_parser(
+        "status", help="print node states, pids, and restart counts"
+    )
+    _add_control_args(cl_status)
+    cl_status.add_argument(
+        "--json", action="store_true", help="machine-readable status"
+    )
+    cl_status.set_defaults(func=_cmd_cluster_status)
+    cl_drain = cluster_sub.add_parser(
+        "drain",
+        help="gracefully stop one node and keep it stopped "
+        "(replicas absorb its traffic)",
+    )
+    cl_drain.add_argument("node", help="node id to drain (e.g. node-1)")
+    _add_control_args(cl_drain)
+    cl_drain.set_defaults(func=_cmd_cluster_drain)
 
     p_list = sub.add_parser("list", help="enumerate methods and datasets")
     p_list.add_argument("--methods", action="store_true", help="methods only")

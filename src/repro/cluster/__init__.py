@@ -1,0 +1,39 @@
+"""Sharded multi-node compression cluster with failover.
+
+Scales the single-host network service (:mod:`repro.service`) out to N
+nodes:
+
+* :mod:`repro.cluster.ring` — a consistent-hash ring (virtual nodes,
+  BLAKE2b points) giving every participant the same deterministic
+  stream-id → replica-set placement;
+* :mod:`repro.cluster.client` — a cluster-aware client that discovers
+  the topology over the wire (``cluster-topology`` frames), keeps a
+  connection pool per shard, and transparently fails over to the next
+  replica when a node dies mid-request;
+* :mod:`repro.cluster.supervisor` — spawns the node processes,
+  health-checks them, restarts crashed ones, drains on request, and
+  serves a control endpoint for ``fcbench cluster status|drain``.
+
+Because every compress/decompress request is a pure function of its
+payload and the servers are byte-identical to the local API, any
+replica can serve any request for its streams: replication is a
+routing property, failover needs no state transfer, and a cluster
+round trip returns exactly the bytes a local
+:func:`repro.api.compress_array` call would — including
+``codec="auto"`` v2 mixed-codec streams.  See ``docs/cluster.md``.
+"""
+
+from repro.cluster.client import ClusterClient, parse_seed
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, stable_hash
+from repro.cluster.supervisor import ClusterSupervisor, NodeSpec, free_port
+
+__all__ = [
+    "ClusterClient",
+    "ClusterSupervisor",
+    "DEFAULT_VNODES",
+    "HashRing",
+    "NodeSpec",
+    "free_port",
+    "parse_seed",
+    "stable_hash",
+]

@@ -1,0 +1,353 @@
+"""Cluster-aware client: topology discovery, sharded routing, failover.
+
+:class:`ClusterClient` is the serving stack's front door once there is
+more than one node.  It bootstraps the cluster topology from any seed
+address with a ``cluster-topology`` request (every node answers, so any
+live node is a valid seed), builds the same :class:`~repro.cluster.ring.HashRing`
+every other participant builds, and keeps one pooled
+:class:`~repro.service.client.ServiceClient` per shard.
+
+Routing is by *stream id*: ``compress_stream("tenant-7/ticks", array)``
+always lands on the same replica set, so a tenant's stream hits warm
+nodes and the placement is reproducible from the topology document
+alone.  Requests are pure functions of their payloads (the server
+guarantees byte-identity with the local API), which makes failover
+trivially safe: if the primary dies mid-request the client replays the
+request on the next replica and the caller sees the exact bytes the
+primary would have produced.
+
+Failure handling, in order:
+
+1. transport faults and timeouts on a node → try the next replica;
+2. whole replica set down → refresh the topology from every known
+   address (a restarted or rebalanced cluster answers) and retry once;
+3. still nothing → :class:`~repro.errors.ClusterError`.
+
+Typed request failures (``CorruptStreamError``, ``SelectionError``,
+``UnsupportedDtypeError``) are *not* failed over: they are
+deterministic properties of the request and every replica would answer
+identically.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.api.frames import DEFAULT_CHUNK_ELEMENTS
+from repro.cluster.ring import HashRing
+from repro.errors import ClusterError, ProtocolError
+from repro.service.client import DEFAULT_CODEC, ServiceClient
+
+__all__ = ["ClusterClient", "parse_seed"]
+
+#: Node states a request may be routed to.  ``draining`` nodes finish
+#: their in-flight work but take no new requests; ``down`` nodes are
+#: skipped outright (failover handles races with stale state).
+_ROUTABLE_STATES = ("starting", "up")
+
+#: Failures that poison one node but not the request: the next replica
+#: gets it.  TimeoutError is safe to fail over because requests are
+#: idempotent pure functions — at worst the slow node finishes work
+#: nobody reads.
+_FAILOVER_ERRORS = (ConnectionError, OSError, TimeoutError, ProtocolError)
+
+
+def parse_seed(seed) -> tuple[str, int]:
+    """Normalize a seed address: ``(host, port)`` or ``"host:port"``."""
+    if isinstance(seed, str):
+        host, _, port = seed.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"seed {seed!r} is not 'host:port'")
+        return host, int(port)
+    host, port = seed
+    return str(host), int(port)
+
+
+class ClusterClient:
+    """Route compress/decompress requests across a compression cluster.
+
+    Parameters
+    ----------
+    seeds:
+        Addresses to bootstrap the topology from — ``(host, port)``
+        tuples or ``"host:port"`` strings.  Any cluster node or the
+        supervisor's control endpoint works; they are tried in order.
+    replication:
+        Override the topology's replication factor (rarely needed —
+        the supervisor publishes the authoritative value).
+    pool_size, timeout, max_payload:
+        Per-shard :class:`ServiceClient` knobs.  Per-node retries are
+        disabled (``retries=0``): the cluster layer owns retry policy,
+        and its retry is the next replica, not the same dead node.
+    """
+
+    def __init__(
+        self,
+        seeds,
+        *,
+        replication: int | None = None,
+        pool_size: int = 2,
+        timeout: float = 30.0,
+        max_payload: int | None = None,
+    ) -> None:
+        self.seeds = [parse_seed(seed) for seed in seeds]
+        if not self.seeds:
+            raise ValueError("at least one seed address is required")
+        if replication is not None and replication < 1:
+            raise ValueError("replication must be positive")
+        self._replication_override = replication
+        self.pool_size = int(pool_size)
+        self.timeout = float(timeout)
+        self.max_payload = max_payload
+        self._lock = threading.Lock()
+        self._clients: dict[str, ServiceClient] = {}
+        self._topology: dict = {}
+        self._ring: HashRing | None = None
+        self._addresses: dict[str, tuple[str, int]] = {}
+        self._states: dict[str, str] = {}
+        self._closed = False
+        self.refresh()
+
+    # -- topology ------------------------------------------------------
+    def _bootstrap_addresses(self) -> list[tuple[str, int]]:
+        with self._lock:
+            known = list(self._addresses.values())
+        ordered = list(self.seeds)
+        for address in known:
+            if address not in ordered:
+                ordered.append(address)
+        return ordered
+
+    def refresh(self) -> dict:
+        """Re-discover the topology; returns the adopted document.
+
+        Tries every seed, then every previously known node address —
+        a cluster that lost its first seed is still discoverable
+        through any survivor.
+        """
+        last: Exception | None = None
+        for host, port in self._bootstrap_addresses():
+            probe = ServiceClient(
+                host,
+                port,
+                pool_size=1,
+                retries=0,
+                timeout=self.timeout,
+                **(
+                    {"max_payload": self.max_payload}
+                    if self.max_payload is not None
+                    else {}
+                ),
+            )
+            try:
+                topology = probe.cluster_topology()
+            except _FAILOVER_ERRORS as exc:
+                last = exc
+                continue
+            finally:
+                probe.close()
+            self._adopt(topology)
+            return topology
+        raise ClusterError(
+            f"topology bootstrap failed on all "
+            f"{len(self._bootstrap_addresses())} address(es): {last}"
+        ) from last
+
+    def _adopt(self, topology: dict) -> None:
+        ring = HashRing(
+            (node["id"] for node in topology["nodes"]),
+            vnodes=topology["vnodes"],
+        )
+        with self._lock:
+            self._topology = topology
+            self._ring = ring
+            self._addresses = {
+                node["id"]: (node["host"], node["port"])
+                for node in topology["nodes"]
+            }
+            self._states = {
+                node["id"]: node["state"] for node in topology["nodes"]
+            }
+            # Drop pooled clients for nodes that left the topology.
+            for node_id in list(self._clients):
+                if node_id not in self._addresses:
+                    self._clients.pop(node_id).close()
+
+    def topology(self) -> dict:
+        """The currently adopted topology document."""
+        with self._lock:
+            return dict(self._topology)
+
+    @property
+    def replication(self) -> int:
+        with self._lock:
+            return self._replication_override or int(
+                self._topology.get("replication", 1)
+            )
+
+    def nodes_for(self, stream_id: str) -> list[str]:
+        """The ordered replica set serving ``stream_id``."""
+        replication = self.replication
+        with self._lock:
+            if self._ring is None:
+                raise ClusterError("client has no topology")
+            return self._ring.replicas(stream_id, replication)
+
+    # -- per-shard connections -----------------------------------------
+    def _client_for(self, node_id: str) -> ServiceClient:
+        with self._lock:
+            if self._closed:
+                raise ClusterError("cluster client is closed")
+            client = self._clients.get(node_id)
+            if client is None:
+                host, port = self._addresses[node_id]
+                client = ServiceClient(
+                    host,
+                    port,
+                    pool_size=self.pool_size,
+                    retries=0,
+                    timeout=self.timeout,
+                    **(
+                        {"max_payload": self.max_payload}
+                        if self.max_payload is not None
+                        else {}
+                    ),
+                )
+                self._clients[node_id] = client
+            return client
+
+    def _drop_client(self, node_id: str) -> None:
+        with self._lock:
+            client = self._clients.pop(node_id, None)
+        if client is not None:
+            client.close()
+
+    # -- failover core -------------------------------------------------
+    def _execute(self, stream_id: str, op):
+        """Run ``op(client)`` on the replica set with failover.
+
+        Walks the replicas in placement order, skipping nodes the
+        topology marks unroutable; if every replica fails with a
+        transport fault, refreshes the topology once (the supervisor
+        may have restarted nodes) and walks the fresh replica set.
+        """
+        failures: list[tuple[str, Exception]] = []
+        for attempt in range(2):
+            replicas = self.nodes_for(stream_id)
+            with self._lock:
+                states = dict(self._states)
+            for node_id in replicas:
+                # Stale "down" marks are re-tried on the second pass:
+                # failover must not strand a key whose whole replica
+                # set was momentarily marked down.
+                if attempt == 0 and states.get(node_id) not in _ROUTABLE_STATES:
+                    continue
+                try:
+                    return op(self._client_for(node_id))
+                except _FAILOVER_ERRORS as exc:
+                    failures.append((node_id, exc))
+                    self._drop_client(node_id)
+            if attempt == 0:
+                try:
+                    self.refresh()
+                except ClusterError as exc:
+                    failures.append(("<refresh>", exc))
+                    break
+        detail = "; ".join(
+            f"{node}: {type(exc).__name__}: {exc}" for node, exc in failures
+        )
+        raise ClusterError(
+            f"no replica could serve stream {stream_id!r} "
+            f"(replication {self.replication}): {detail or 'no live nodes'}"
+        )
+
+    # -- request surface -----------------------------------------------
+    def compress_stream(
+        self,
+        stream_id: str,
+        array,
+        codec: str = DEFAULT_CODEC,
+        *,
+        chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+        policy: str = "heuristic",
+    ) -> bytes:
+        """Compress ``array`` on ``stream_id``'s shard.
+
+        Returns the FCF stream bytes, byte-identical to a local
+        :func:`repro.api.compress_array` call whichever replica serves
+        it — including ``codec="auto"`` v2 mixed-codec streams.
+        """
+        array = np.asarray(array)
+        return self._execute(
+            stream_id,
+            lambda client: client.compress_array(
+                array, codec, chunk_elements=chunk_elements, policy=policy
+            ),
+        )
+
+    def decompress_stream(self, stream_id: str, blob) -> np.ndarray:
+        """Decompress ``blob`` on ``stream_id``'s shard."""
+        blob = bytes(blob)
+        return self._execute(
+            stream_id, lambda client: client.decompress_array(blob)
+        )
+
+    def select_explain_stream(
+        self,
+        stream_id: str,
+        array,
+        *,
+        policy: str = "heuristic",
+        chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    ) -> dict:
+        """Per-chunk selection decisions from ``stream_id``'s shard."""
+        array = np.asarray(array)
+        return self._execute(
+            stream_id,
+            lambda client: client.select_explain(
+                array, policy=policy, chunk_elements=chunk_elements
+            ),
+        )
+
+    # -- cluster-wide probes -------------------------------------------
+    def ping(self) -> dict[str, float]:
+        """Round-trip seconds per reachable node (unreachable → NaN)."""
+        answers: dict[str, float] = {}
+        for node_id in self._known_nodes():
+            try:
+                answers[node_id] = self._client_for(node_id).ping()
+            except _FAILOVER_ERRORS:
+                self._drop_client(node_id)
+                answers[node_id] = float("nan")
+        return answers
+
+    def stats(self) -> dict[str, dict]:
+        """Per-node metrics snapshots (unreachable nodes report error)."""
+        answers: dict[str, dict] = {}
+        for node_id in self._known_nodes():
+            try:
+                answers[node_id] = self._client_for(node_id).stats()
+            except _FAILOVER_ERRORS as exc:
+                self._drop_client(node_id)
+                answers[node_id] = {"error": f"{type(exc).__name__}: {exc}"}
+        return answers
+
+    def _known_nodes(self) -> list[str]:
+        with self._lock:
+            return sorted(self._addresses)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            clients, self._clients = list(self._clients.values()), {}
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -72,6 +72,18 @@ class ServiceError(ReproError):
     """
 
 
+class ClusterError(ServiceError):
+    """A cluster operation could not complete on any eligible node.
+
+    Raised by :mod:`repro.cluster` when topology bootstrap fails on
+    every seed, when a stream's whole replica set is unreachable even
+    after a topology refresh, or when the supervisor cannot bring a
+    node up.  A :class:`ClusterError` means the *cluster* failed the
+    caller — individual node failures are absorbed by failover and
+    never surface as long as one replica answers.
+    """
+
+
 class ProtocolError(ServiceError):
     """A wire frame violates the service protocol.
 

@@ -297,9 +297,16 @@ def run_bench(
         # ephemeral port, 4 concurrent connections per codec (see
         # repro/perf/loadgen.py).  Lands in the same snapshot so the
         # serving trajectory is tracked per commit like codec speed.
-        from repro.perf.loadgen import run_loadgen
+        from repro.perf.loadgen import run_cluster_loadgen, run_loadgen
 
         report["service"] = run_loadgen(
+            seed=seed,
+            on_result=on_cell if on_cell is not None else None,
+        )
+        # Cluster scaling curve: the same matrix against 1→3-node
+        # clusters (real supervised node processes), so the snapshot
+        # records whether sharding actually buys aggregate throughput.
+        report["service"]["cluster"] = run_cluster_loadgen(
             seed=seed,
             on_result=on_cell if on_cell is not None else None,
         )

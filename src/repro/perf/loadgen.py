@@ -34,7 +34,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["run_loadgen", "percentile"]
+__all__ = ["run_cluster_loadgen", "run_loadgen", "percentile"]
 
 DEFAULT_CODECS = ("bitshuffle-zstd", "gorilla", "auto")
 DEFAULT_DATASET = "tpcH-order"
@@ -209,16 +209,32 @@ def _run_codec(
                 )
             )
 
-    results = [dict() for _ in range(connections)]
-    barrier = threading.Barrier(connections + 1)
+    cell = _drive_workers(
+        [factory] * connections, array, codec, chunk_elements, requests
+    )
+    if identical is not None:
+        cell["byte_identical_with_local"] = identical
+    return cell
+
+
+def _drive_workers(
+    factories: Sequence[Callable[[], object]],
+    array: np.ndarray,
+    codec: str,
+    chunk_elements: int,
+    requests: int,
+) -> dict:
+    """Drive one worker thread per factory; aggregate into a codec cell."""
+    results = [dict() for _ in factories]
+    barrier = threading.Barrier(len(factories) + 1)
     threads = [
         threading.Thread(
             target=_worker,
-            args=(factory, array, codec, chunk_elements,
+            args=(factories[index], array, codec, chunk_elements,
                   requests, results[index], barrier),
             daemon=True,
         )
-        for index in range(connections)
+        for index in range(len(factories))
     ]
     for thread in threads:
         thread.start()
@@ -234,9 +250,9 @@ def _run_codec(
     round_trips = len(decompress_s)
     # Raw array bytes moved through the service in both directions.
     moved = array.nbytes * (len(compress_s) + len(decompress_s))
-    cell = {
+    return {
         "codec": codec,
-        "requests": connections * requests,
+        "requests": len(factories) * requests,
         "completed_round_trips": round_trips,
         "errors": errors,
         "wall_seconds": wall,
@@ -244,6 +260,171 @@ def _run_codec(
         "compress": _latency_summary(compress_s),
         "decompress": _latency_summary(decompress_s),
     }
+
+
+class _StreamClient:
+    """Adapt one ClusterClient + stream prefix to the _worker shape.
+
+    Each compress starts a fresh stream id under the worker's prefix
+    (the paired decompress reuses it), so the matrix spreads over many
+    placements and the whole ring carries load — a single fixed id per
+    worker would park every worker on one replica set and measure one
+    node's ceiling, not the cluster's.
+    """
+
+    def __init__(self, cluster, prefix: str) -> None:
+        self._cluster = cluster
+        self._prefix = prefix
+        self._round = 0
+        self._stream_id = f"{prefix}/0"
+
+    def compress_array(self, array, codec, *, chunk_elements):
+        self._stream_id = f"{self._prefix}/{self._round}"
+        self._round += 1
+        return self._cluster.compress_stream(
+            self._stream_id, array, codec, chunk_elements=chunk_elements
+        )
+
+    def decompress_array(self, blob):
+        return self._cluster.decompress_stream(self._stream_id, blob)
+
+    def close(self) -> None:
+        self._cluster.close()
+
+    def __enter__(self) -> "_StreamClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def run_cluster_loadgen(
+    *,
+    node_counts: Sequence[int] = (1, 2, 3),
+    connections: int = 4,
+    requests: int = 8,
+    elements: int = 4096,
+    chunk_elements: int = 1024,
+    codecs: Sequence[str] = DEFAULT_CODECS,
+    dataset: str = DEFAULT_DATASET,
+    seed: int = 0,
+    replication: int = 2,
+    node_jobs: int | None = None,
+    batch_window: float = 0.002,
+    verify: bool = True,
+    on_result: Callable[[dict], None] | None = None,
+) -> dict:
+    """Scaling curve: the loadgen matrix against 1→N-node clusters.
+
+    For each entry in ``node_counts`` a fresh
+    :class:`~repro.cluster.supervisor.ClusterSupervisor` spawns that
+    many real node processes; ``connections`` workers (one
+    :class:`~repro.cluster.ClusterClient` and one distinct stream id
+    each, so shards are actually spread) issue ``requests`` compress +
+    decompress round trips per codec.  With ``verify`` every codec's
+    served stream is checked byte-identical to the local
+    ``compress_array`` output at every cluster size.
+
+    Returns a JSON-ready report whose ``"scaling"`` list holds one
+    ``{"nodes": N, "codecs": [...]}`` entry per cluster size — the
+    cluster throughput trajectory for ``BENCH_<git-sha>.json``.
+    """
+    from repro.cluster import ClusterSupervisor
+    from repro.data.loader import load
+
+    if connections < 1 or requests < 1:
+        raise ValueError("connections and requests must be positive")
+    if any(count < 1 for count in node_counts):
+        raise ValueError("node counts must be positive")
+    array = load(dataset, elements, seed)
+
+    import os
+
+    report = {
+        "dataset": dataset,
+        "elements": int(array.size),
+        "chunk_elements": chunk_elements,
+        "connections": connections,
+        "requests_per_connection": requests,
+        "replication": replication,
+        # Node processes scale with cores: on a 1-CPU host the curve is
+        # flat by construction (N processes time-share one core), so
+        # the snapshot records what the throughput numbers mean.
+        "host_cpus": os.cpu_count() or 1,
+        "scaling": [],
+    }
+    for count in node_counts:
+        supervisor = ClusterSupervisor(
+            count,
+            replication=min(replication, count),
+            jobs=node_jobs,
+            batch_window=batch_window,
+        )
+        supervisor.start()
+        try:
+            control = (supervisor.control_host, supervisor.control_port)
+            entry = {"nodes": int(count), "codecs": []}
+            for codec in codecs:
+                cell = _run_cluster_codec(
+                    control, array, codec, chunk_elements,
+                    connections, requests, verify,
+                )
+                cell["nodes"] = int(count)
+                entry["codecs"].append(cell)
+                if on_result is not None:
+                    on_result(cell)
+            report["scaling"].append(entry)
+        finally:
+            supervisor.stop()
+    return report
+
+
+def _run_cluster_codec(
+    control: tuple[str, int],
+    array: np.ndarray,
+    codec: str,
+    chunk_elements: int,
+    connections: int,
+    requests: int,
+    verify: bool,
+) -> dict:
+    from repro.cluster import ClusterClient
+
+    def factory_for(index: int) -> Callable[[], _StreamClient]:
+        def factory() -> _StreamClient:
+            return _StreamClient(
+                ClusterClient([control], pool_size=1),
+                f"loadgen/{codec}/worker-{index}",
+            )
+
+        return factory
+
+    identical = None
+    if verify:
+        from repro.api.session import compress_array, decompress_array
+
+        local_codec = codec
+        if codec == "auto":
+            from repro.select import resolve_policy
+
+            local_codec = resolve_policy("heuristic")
+        with factory_for(0)() as probe:
+            served = probe.compress_array(
+                array, codec, chunk_elements=chunk_elements
+            )
+            local = compress_array(
+                array, local_codec, chunk_elements=chunk_elements
+            )
+            identical = bool(
+                served == local
+                and np.array_equal(
+                    probe.decompress_array(served).ravel(),
+                    decompress_array(local).ravel(),
+                )
+            )
+
+    factories = [factory_for(index) for index in range(connections)]
+    cell = _drive_workers(factories, array, codec, chunk_elements, requests)
     if identical is not None:
         cell["byte_identical_with_local"] = identical
     return cell

@@ -38,9 +38,12 @@ from repro.api.frames import DEFAULT_CHUNK_ELEMENTS
 from repro.errors import ProtocolError
 from repro.service import protocol
 from repro.service.protocol import (
+    CLUSTER_CONTROL,
+    CLUSTER_TOPOLOGY,
     COMPRESS,
     DECOMPRESS,
     DEFAULT_MAX_PAYLOAD,
+    HEALTH,
     PING,
     SELECT_EXPLAIN,
     STATS,
@@ -248,6 +251,32 @@ class ServiceClient:
         """The server's :meth:`ServiceMetrics.snapshot`."""
         return protocol.decode_json(self._request(STATS, b"").payload)
 
+    def health(self) -> dict:
+        """The peer's liveness document (status, node id, uptime, pid)."""
+        return protocol.decode_json(self._request(HEALTH, b"").payload)
+
+    def cluster_topology(self) -> dict:
+        """The peer's validated cluster topology document.
+
+        A standalone server answers with a single-node topology
+        pointing at itself; a cluster node or supervisor answers with
+        the full ring membership.
+        """
+        return protocol.decode_topology(
+            self._request(CLUSTER_TOPOLOGY, b"").payload
+        )
+
+    def cluster_control(self, action: str, node: str | None = None) -> dict:
+        """Send a supervisor control verb (``drain``/``restart``/``status``).
+
+        Only the cluster supervisor's control endpoint serves these;
+        a compression node answers with a typed protocol error.
+        """
+        payload = protocol.encode_control(action, node)
+        return protocol.decode_json(
+            self._request(CLUSTER_CONTROL, payload).payload
+        )
+
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
         with self._lock:
@@ -355,6 +384,20 @@ class AsyncServiceClient:
 
     async def stats(self) -> dict:
         return protocol.decode_json((await self._request(STATS, b"")).payload)
+
+    async def health(self) -> dict:
+        return protocol.decode_json((await self._request(HEALTH, b"")).payload)
+
+    async def cluster_topology(self) -> dict:
+        frame = await self._request(CLUSTER_TOPOLOGY, b"")
+        return protocol.decode_topology(frame.payload)
+
+    async def cluster_control(
+        self, action: str, node: str | None = None
+    ) -> dict:
+        payload = protocol.encode_control(action, node)
+        frame = await self._request(CLUSTER_CONTROL, payload)
+        return protocol.decode_json(frame.payload)
 
     async def close(self) -> None:
         self._writer.close()

@@ -17,6 +17,7 @@ when precision matters.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import defaultdict
 
@@ -80,12 +81,18 @@ class LatencyHistogram:
 class ServiceMetrics:
     """Aggregate counters for one server instance.
 
-    Mutated only from the server's event loop (asyncio is single
-    threaded), read via :meth:`snapshot` which deep-copies into plain
-    JSON types — safe to hand to another thread or the wire.
+    Thread-safe: the server's event loop records, while other threads
+    — an embedding's :attr:`ServerHandle.metrics`, the CLI's
+    ``--metrics-json`` writer, the supervisor's health loop — may call
+    :meth:`snapshot` concurrently.  One lock covers every mutation and
+    the whole snapshot, so a snapshot is never torn: each request's
+    op counter, codec bytes, and latency sample land atomically, and
+    the returned dict deep-copies into plain JSON types — safe to hand
+    to another thread or the wire.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.started_at = time.time()
         self.connections_opened = 0
         self.connections_active = 0
@@ -104,15 +111,18 @@ class ServiceMetrics:
 
     # -- recording -----------------------------------------------------
     def connection_opened(self) -> None:
-        self.connections_opened += 1
-        self.connections_active += 1
+        with self._lock:
+            self.connections_opened += 1
+            self.connections_active += 1
 
     def connection_closed(self) -> None:
-        self.connections_active = max(0, self.connections_active - 1)
+        with self._lock:
+            self.connections_active = max(0, self.connections_active - 1)
 
     def record_batch(self, n_requests: int) -> None:
-        self.batches += 1
-        self.batched_requests += n_requests
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += n_requests
 
     def record_request(
         self,
@@ -124,42 +134,53 @@ class ServiceMetrics:
         bytes_in: int = 0,
         bytes_out: int = 0,
     ) -> None:
-        entry = self.ops[op]
-        entry["requests"] += 1
-        if not ok:
-            entry["errors"] += 1
-        self._latency[op].record(seconds)
-        if codec is not None:
-            stats = self.codecs[codec]
-            stats["requests"] += 1
-            stats["bytes_in"] += int(bytes_in)
-            stats["bytes_out"] += int(bytes_out)
+        with self._lock:
+            entry = self.ops[op]
+            entry["requests"] += 1
+            if not ok:
+                entry["errors"] += 1
+            self._latency[op].record(seconds)
+            if codec is not None:
+                stats = self.codecs[codec]
+                stats["requests"] += 1
+                stats["bytes_in"] += int(bytes_in)
+                stats["bytes_out"] += int(bytes_out)
 
     def record_protocol_error(self) -> None:
-        self.protocol_errors += 1
+        with self._lock:
+            self.protocol_errors += 1
 
     # -- reading -------------------------------------------------------
     def snapshot(self) -> dict:
-        """JSON-ready view of every counter and latency histogram."""
-        return {
-            "uptime_seconds": time.time() - self.started_at,
-            "connections": {
-                "opened": self.connections_opened,
-                "active": self.connections_active,
-            },
-            "protocol_errors": self.protocol_errors,
-            "batches": {
-                "count": self.batches,
-                "requests": self.batched_requests,
-                "mean_size": (
-                    self.batched_requests / self.batches if self.batches else 0.0
-                ),
-            },
-            "ops": {
-                op: {**counts, "latency": self._latency[op].snapshot()}
-                for op, counts in sorted(self.ops.items())
-            },
-            "codecs": {
-                name: dict(stats) for name, stats in sorted(self.codecs.items())
-            },
-        }
+        """JSON-ready view of every counter and latency histogram.
+
+        Taken atomically under the metrics lock: a snapshot racing a
+        recording thread sees either all of a request's effects (op
+        count, codec bytes, latency sample) or none of them.
+        """
+        with self._lock:
+            return {
+                "uptime_seconds": time.time() - self.started_at,
+                "connections": {
+                    "opened": self.connections_opened,
+                    "active": self.connections_active,
+                },
+                "protocol_errors": self.protocol_errors,
+                "batches": {
+                    "count": self.batches,
+                    "requests": self.batched_requests,
+                    "mean_size": (
+                        self.batched_requests / self.batches
+                        if self.batches
+                        else 0.0
+                    ),
+                },
+                "ops": {
+                    op: {**counts, "latency": self._latency[op].snapshot()}
+                    for op, counts in sorted(self.ops.items())
+                },
+                "codecs": {
+                    name: dict(stats)
+                    for name, stats in sorted(self.codecs.items())
+                },
+            }

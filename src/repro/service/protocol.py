@@ -11,7 +11,10 @@ One protocol frame carries one request or one response::
     +--------------------------------------------------------------+
 
 Integers are LEB128 varints (:mod:`repro.encodings.varint`), the same
-encoding the FCF frame format uses.  Every response frame's type is its
+encoding the FCF frame format uses.  Request types cover the single-node
+surface (ping / compress / decompress / select-explain / stats) and the
+cluster surface (cluster-topology / health / cluster-control — see
+:mod:`repro.cluster`).  Every response frame's type is its
 request's type with the high bit set; error responses use the dedicated
 :data:`ERROR` type whose payload carries an error *code* mapped to the
 library's exception hierarchy — ``CorruptStreamError``,
@@ -55,14 +58,20 @@ __all__ = [
     "MAGIC",
     "PROTOCOL_VERSION",
     "DEFAULT_MAX_PAYLOAD",
+    "DEFAULT_VNODES",
     "PING",
     "COMPRESS",
     "DECOMPRESS",
     "SELECT_EXPLAIN",
     "STATS",
+    "CLUSTER_TOPOLOGY",
+    "HEALTH",
+    "CLUSTER_CONTROL",
     "ERROR",
     "RESPONSE_BIT",
     "REQUEST_TYPES",
+    "NODE_STATES",
+    "CONTROL_ACTIONS",
     "ERR_PROTOCOL",
     "ERR_CORRUPT_STREAM",
     "ERR_SELECTION",
@@ -82,6 +91,11 @@ __all__ = [
     "decode_explain_request",
     "encode_json",
     "decode_json",
+    "validate_topology",
+    "encode_topology",
+    "decode_topology",
+    "encode_control",
+    "decode_control",
     "encode_error",
     "decode_error",
     "error_code_for",
@@ -94,6 +108,10 @@ PROTOCOL_VERSION = 1
 #: Default upper bound on one frame's payload (256 MiB) — a hostile
 #: length prefix must not drive the peer into a huge allocation.
 DEFAULT_MAX_PAYLOAD = 1 << 28
+#: Default virtual nodes per physical node.  Part of the topology
+#: contract: every client must hash with the *same* vnode count or
+#: placement diverges, so the topology document always carries it.
+DEFAULT_VNODES = 128
 
 # Request frame types; a response echoes the type with the high bit set.
 PING = 0x01
@@ -101,11 +119,31 @@ COMPRESS = 0x02
 DECOMPRESS = 0x03
 SELECT_EXPLAIN = 0x04
 STATS = 0x05
+#: Cluster bootstrap: any node (and the supervisor's control endpoint)
+#: answers with the cluster topology document — node ids, addresses,
+#: replication factor, and the virtual-node count that makes hash-ring
+#: placement deterministic across every client process.
+CLUSTER_TOPOLOGY = 0x06
+#: Liveness probe with a JSON answer (node id, uptime, pid) — the
+#: supervisor's health checker and ``fcbench cluster status`` use it.
+HEALTH = 0x07
+#: Supervisor control verb (drain / restart / status); compression
+#: nodes do not speak it, only the supervisor's control endpoint does.
+CLUSTER_CONTROL = 0x08
 RESPONSE_BIT = 0x80
 #: Typed failure response (any request may answer with it).
 ERROR = 0xFF
 
-REQUEST_TYPES = (PING, COMPRESS, DECOMPRESS, SELECT_EXPLAIN, STATS)
+REQUEST_TYPES = (
+    PING,
+    COMPRESS,
+    DECOMPRESS,
+    SELECT_EXPLAIN,
+    STATS,
+    CLUSTER_TOPOLOGY,
+    HEALTH,
+    CLUSTER_CONTROL,
+)
 
 # Error codes carried by ERROR payloads, mapped to library exceptions.
 ERR_PROTOCOL = 1
@@ -394,6 +432,102 @@ def decode_json(payload: bytes) -> dict:
     if not isinstance(value, dict):
         raise ProtocolError("JSON payload is not an object")
     return value
+
+
+# ----------------------------------------------------------------------
+# Cluster payloads: topology documents and supervisor control verbs
+# ----------------------------------------------------------------------
+#: Node lifecycle states a topology document may report.
+NODE_STATES = ("starting", "up", "draining", "down")
+#: Verbs the supervisor's control endpoint accepts.
+CONTROL_ACTIONS = ("drain", "restart", "status")
+_MAX_NODES = 1024
+_MAX_VNODES = 4096
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProtocolError(f"invalid topology: {message}")
+
+
+def validate_topology(topology: dict) -> dict:
+    """Structurally validate a topology document (returns it unchanged).
+
+    A topology is the contract every routing decision hangs off — a
+    malformed one must never reach a :class:`~repro.cluster.HashRing`,
+    so both the encoder and the decoder funnel through this check.
+    """
+    if not isinstance(topology, dict):
+        raise ProtocolError("invalid topology: not an object")
+    version = topology.get("version")
+    _require(isinstance(version, int) and not isinstance(version, bool)
+             and version >= 0, f"bad version {version!r}")
+    replication = topology.get("replication")
+    _require(isinstance(replication, int) and not isinstance(replication, bool)
+             and replication >= 1, f"bad replication {replication!r}")
+    vnodes = topology.get("vnodes")
+    _require(isinstance(vnodes, int) and not isinstance(vnodes, bool)
+             and 1 <= vnodes <= _MAX_VNODES, f"bad vnodes {vnodes!r}")
+    nodes = topology.get("nodes")
+    _require(isinstance(nodes, list) and 1 <= len(nodes) <= _MAX_NODES,
+             "nodes must be a non-empty list")
+    seen: set[str] = set()
+    for node in nodes:
+        _require(isinstance(node, dict), "node entry is not an object")
+        node_id = node.get("id")
+        _require(isinstance(node_id, str) and 1 <= len(node_id) <= _MAX_NAME,
+                 f"bad node id {node_id!r}")
+        _require(node_id not in seen, f"duplicate node id {node_id!r}")
+        seen.add(node_id)
+        host = node.get("host")
+        _require(isinstance(host, str) and 1 <= len(host) <= 255,
+                 f"bad host {host!r} for node {node_id}")
+        port = node.get("port")
+        _require(isinstance(port, int) and not isinstance(port, bool)
+                 and 1 <= port <= 65535,
+                 f"bad port {port!r} for node {node_id}")
+        state = node.get("state")
+        _require(state in NODE_STATES,
+                 f"bad state {state!r} for node {node_id}")
+    return topology
+
+
+def encode_topology(topology: dict) -> bytes:
+    """Serialize a validated topology document (``CLUSTER_TOPOLOGY``)."""
+    return encode_json(validate_topology(topology))
+
+
+def decode_topology(payload: bytes) -> dict:
+    """Parse and validate a ``CLUSTER_TOPOLOGY`` response payload."""
+    return validate_topology(decode_json(payload))
+
+
+def encode_control(action: str, node: str | None = None) -> bytes:
+    """Build a ``CLUSTER_CONTROL`` payload: a verb plus a target node."""
+    if action not in CONTROL_ACTIONS:
+        raise ValueError(
+            f"unknown control action {action!r} (one of {CONTROL_ACTIONS})"
+        )
+    body: dict = {"action": action}
+    if node is not None:
+        body["node"] = node
+    return encode_json(body)
+
+
+def decode_control(payload: bytes) -> tuple[str, str | None]:
+    """Parse a ``CLUSTER_CONTROL`` payload -> (action, node-or-None)."""
+    body = decode_json(payload)
+    action = body.get("action")
+    if action not in CONTROL_ACTIONS:
+        raise ProtocolError(
+            f"unknown control action {action!r} (one of {CONTROL_ACTIONS})"
+        )
+    node = body.get("node")
+    if node is not None and not (
+        isinstance(node, str) and 1 <= len(node) <= _MAX_NAME
+    ):
+        raise ProtocolError(f"bad control target node {node!r}")
+    return action, node
 
 
 # ----------------------------------------------------------------------

@@ -46,12 +46,15 @@ from repro.errors import ProtocolError, ReproError
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
+    CLUSTER_CONTROL,
+    CLUSTER_TOPOLOGY,
     COMPRESS,
     DECOMPRESS,
     DEFAULT_MAX_PAYLOAD,
     ERR_INTERNAL,
     ERR_PROTOCOL,
     ERROR,
+    HEALTH,
     PING,
     REQUEST_TYPES,
     SELECT_EXPLAIN,
@@ -61,6 +64,7 @@ from repro.service.protocol import (
     encode_error,
     encode_frame,
     response_type,
+    validate_topology,
 )
 
 __all__ = [
@@ -77,6 +81,8 @@ _OP_NAMES = {
     DECOMPRESS: "decompress",
     SELECT_EXPLAIN: "select-explain",
     STATS: "stats",
+    CLUSTER_TOPOLOGY: "topology",
+    HEALTH: "health",
 }
 
 
@@ -212,6 +218,16 @@ class CompressionServer:
     metrics:
         A :class:`~repro.service.metrics.ServiceMetrics` to record
         into; one is created when omitted.
+    node_id:
+        This server's identity inside a cluster; defaults to
+        ``host:port`` once the port is resolved.  Served in ``health``
+        answers and the synthesized single-node topology.
+    topology:
+        The cluster topology document this node serves for
+        ``cluster-topology`` requests (validated at construction).
+        ``None`` — the standalone default — synthesizes a single-node
+        topology pointing at this server, so a cluster-aware client
+        can also talk to a plain ``fcbench serve``.
     """
 
     def __init__(
@@ -225,6 +241,8 @@ class CompressionServer:
         max_payload: int = DEFAULT_MAX_PAYLOAD,
         max_inflight_bytes: int = 1 << 26,
         metrics: ServiceMetrics | None = None,
+        node_id: str | None = None,
+        topology: dict | None = None,
     ) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be positive")
@@ -232,6 +250,9 @@ class CompressionServer:
             raise ValueError("max_inflight_bytes must be positive")
         self.host = host
         self.port = port
+        self.node_id = node_id
+        self.topology = validate_topology(topology) if topology else None
+        self.started_at = time.time()
         self.jobs = jobs
         self.batch_max = int(batch_max)
         self.batch_window = float(batch_window)
@@ -291,6 +312,45 @@ class CompressionServer:
 
     async def __aexit__(self, exc_type, exc, tb) -> None:
         await self.stop()
+
+    # -- cluster identity ----------------------------------------------
+    @property
+    def effective_node_id(self) -> str:
+        return self.node_id or f"{self.host}:{self.port}"
+
+    def topology_document(self) -> dict:
+        """The topology this node serves for ``cluster-topology``.
+
+        A standalone server synthesizes a single-node topology pointing
+        at itself (replication 1), so cluster-aware clients can
+        bootstrap from any ``fcbench serve`` without special-casing.
+        """
+        if self.topology is not None:
+            return self.topology
+        return {
+            "version": 0,
+            "replication": 1,
+            "vnodes": protocol.DEFAULT_VNODES,
+            "nodes": [
+                {
+                    "id": self.effective_node_id,
+                    "host": self.host,
+                    "port": self.port,
+                    "state": "up",
+                }
+            ],
+        }
+
+    def health_document(self) -> dict:
+        """The JSON body answering a ``health`` probe."""
+        import os
+
+        return {
+            "status": "draining" if self._drain.is_set() else "ok",
+            "node_id": self.effective_node_id,
+            "uptime_seconds": time.time() - self.started_at,
+            "pid": os.getpid(),
+        }
 
     # -- connection handling -------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
@@ -462,6 +522,36 @@ class CompressionServer:
             await self._send(
                 writer, response_type(STATS), frame.request_id, payload
             )
+        elif frame.frame_type == CLUSTER_TOPOLOGY:
+            payload = protocol.encode_topology(self.topology_document())
+            self.metrics.record_request("topology", time.perf_counter() - start)
+            await self._send(
+                writer, response_type(CLUSTER_TOPOLOGY), frame.request_id,
+                payload,
+            )
+        elif frame.frame_type == HEALTH:
+            payload = protocol.encode_json(self.health_document())
+            self.metrics.record_request("health", time.perf_counter() - start)
+            await self._send(
+                writer, response_type(HEALTH), frame.request_id, payload
+            )
+        elif frame.frame_type == CLUSTER_CONTROL:
+            # A compression node takes orders from its supervisor's
+            # process signals, not from the wire: typed error, the
+            # connection lives on.
+            self.metrics.record_request(
+                "control", time.perf_counter() - start, ok=False
+            )
+            await self._send(
+                writer,
+                ERROR,
+                frame.request_id,
+                encode_error(
+                    ERR_PROTOCOL,
+                    "cluster-control frames are only served by the "
+                    "cluster supervisor's control endpoint",
+                ),
+            )
         else:
             # A well-formed frame with a type this server does not
             # speak: typed error, connection lives on.
@@ -624,13 +714,30 @@ def run_server(
     """Run a server in the foreground until interrupted (the CLI path).
 
     ``on_ready(server)`` fires once the socket is bound — the CLI
-    prints the address there.  Ctrl-C triggers the graceful drain.
-    Returns the final metrics so the caller can persist a snapshot.
+    prints the address there.  Ctrl-C and SIGTERM both trigger the
+    graceful drain (SIGTERM is how the cluster supervisor drains a
+    node, and it works even where the process inherited an ignored
+    SIGINT, e.g. shell background jobs).  Returns the final metrics so
+    the caller can persist a snapshot.
     """
+    import signal
+
     server = CompressionServer(host, port, **kwargs)
 
     async def _main() -> None:
         await server.start()
+        loop = asyncio.get_running_loop()
+        stopping: list[asyncio.Task] = []
+
+        def _drain() -> None:
+            if not stopping:
+                stopping.append(loop.create_task(server.stop(grace)))
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _drain)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without signal support
         if on_ready is not None:
             on_ready(server)
         try:
@@ -638,6 +745,9 @@ def run_server(
         finally:
             if not server._stopped.is_set():
                 await server.stop(grace)
+            for task in stopping:
+                if not task.done():
+                    await task
 
     try:
         asyncio.run(_main())

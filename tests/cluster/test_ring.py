@@ -1,0 +1,169 @@
+"""Consistent-hash ring properties the cluster is built on.
+
+Placement must be deterministic across processes (it is part of the
+wire contract — every client and node computes it independently from
+the topology document), balanced within bounds at 100+ virtual nodes,
+and minimally disturbed by membership changes: a join or leave may
+remap only the arcs the changed node owns, an expected ``1/N`` key
+fraction.
+"""
+
+import json
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import DEFAULT_VNODES, HashRing, stable_hash
+from repro.errors import ClusterError
+
+pytestmark = pytest.mark.cluster
+
+KEYS = [f"tenant-{k % 7}/stream/{k}" for k in range(2000)]
+
+
+def _ring(n, vnodes=DEFAULT_VNODES):
+    return HashRing([f"node-{i}" for i in range(n)], vnodes=vnodes)
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+def test_stable_hash_is_salt_free_and_typed():
+    # A pinned value: if this moves, every deployed placement moves.
+    assert stable_hash("node-0#0") == 0x23AD9A13F8EFD4D9
+    assert stable_hash("key") == stable_hash(b"key")
+
+
+def test_placement_identical_across_processes():
+    """A fresh interpreter with a different hash salt places identically.
+
+    This is the property Python's builtin ``hash`` would break: the
+    ring must be a pure function of the topology document, because
+    clients and nodes compute placements independently.
+    """
+    local = {key: _ring(5).replicas(key, 2) for key in KEYS[:200]}
+    script = (
+        "import json, sys\n"
+        "from repro.cluster import HashRing\n"
+        "ring = HashRing([f'node-{i}' for i in range(5)])\n"
+        "keys = json.load(sys.stdin)\n"
+        "json.dump({k: ring.replicas(k, 2) for k in keys}, sys.stdout)\n"
+    )
+    src = Path(__file__).resolve().parents[2] / "src"
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        input=json.dumps(KEYS[:200]),
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": str(src), "PYTHONHASHSEED": "12345"},
+    )
+    assert json.loads(out.stdout) == local
+
+
+def test_replicas_are_distinct_ordered_prefixes():
+    ring = _ring(5)
+    for key in KEYS[:100]:
+        three = ring.replicas(key, 3)
+        assert len(set(three)) == 3
+        assert ring.replicas(key, 1) == three[:1]
+        assert ring.replicas(key, 2) == three[:2]
+        assert ring.primary(key) == three[0]
+
+
+def test_replica_count_clamps_to_ring_size():
+    ring = _ring(2)
+    assert sorted(ring.replicas("any", 3)) == ["node-0", "node-1"]
+
+
+# ----------------------------------------------------------------------
+# Balance
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("nodes", [3, 5, 8])
+def test_load_balance_within_bounds(nodes):
+    ring = _ring(nodes, vnodes=128)
+    counts = Counter(ring.primary(key) for key in KEYS)
+    assert len(counts) == nodes  # every node owns some keys
+    mean = len(KEYS) / nodes
+    for node, count in counts.items():
+        assert 0.6 * mean <= count <= 1.5 * mean, (
+            f"{node} owns {count} of {len(KEYS)} keys "
+            f"({count / mean:.2f}x the mean share)"
+        )
+
+
+def test_few_vnodes_balance_is_worse_than_many():
+    """Sanity on the vnodes knob: 128 points beat 1 point per node."""
+    spread = {}
+    for vnodes in (1, 128):
+        ring = _ring(5, vnodes=vnodes)
+        counts = Counter(ring.primary(key) for key in KEYS)
+        mean = len(KEYS) / 5
+        spread[vnodes] = max(
+            abs(counts.get(f"node-{i}", 0) - mean) for i in range(5)
+        )
+    assert spread[128] < spread[1]
+
+
+# ----------------------------------------------------------------------
+# Minimal remapping
+# ----------------------------------------------------------------------
+def test_join_remaps_only_onto_the_new_node():
+    before = {key: _ring(5).primary(key) for key in KEYS}
+    grown = _ring(5)
+    grown.add_node("node-5")
+    moved = {
+        key: grown.primary(key)
+        for key in KEYS
+        if grown.primary(key) != before[key]
+    }
+    # Every remapped key lands on the joiner, nowhere else.
+    assert set(moved.values()) == {"node-5"}
+    # Expected moved fraction is 1/(N+1); assert it stays under 2x that.
+    assert 0 < len(moved) / len(KEYS) < 2 / 6
+
+
+def test_leave_remaps_only_the_leavers_keys():
+    ring = _ring(5)
+    before = {key: ring.primary(key) for key in KEYS}
+    ring.remove_node("node-3")
+    after = {key: ring.primary(key) for key in KEYS}
+    moved = [key for key in KEYS if after[key] != before[key]]
+    assert moved, "node-3 owned keys, some must move"
+    for key in moved:
+        assert before[key] == "node-3"
+        assert after[key] != "node-3"
+    assert len(moved) / len(KEYS) < 2 / 5
+
+
+def test_membership_round_trip_restores_placement():
+    ring = _ring(5)
+    before = {key: ring.replicas(key, 2) for key in KEYS[:200]}
+    ring.remove_node("node-2")
+    ring.add_node("node-2")
+    assert {key: ring.replicas(key, 2) for key in KEYS[:200]} == before
+
+
+# ----------------------------------------------------------------------
+# Errors
+# ----------------------------------------------------------------------
+def test_membership_errors():
+    ring = _ring(2)
+    with pytest.raises(ValueError, match="already"):
+        ring.add_node("node-0")
+    with pytest.raises(ValueError, match="not on the ring"):
+        ring.remove_node("node-9")
+    with pytest.raises(ValueError, match="non-empty"):
+        ring.add_node("")
+
+
+def test_empty_ring_and_bad_counts():
+    with pytest.raises(ClusterError, match="no nodes"):
+        HashRing().primary("key")
+    with pytest.raises(ValueError, match="positive"):
+        _ring(2).replicas("key", 0)
+    with pytest.raises(ValueError, match="vnodes"):
+        HashRing(vnodes=0)

@@ -127,6 +127,78 @@ def test_service_metrics_snapshot_shape():
     json.dumps(snapshot)  # must be JSON-serializable as-is
 
 
+def test_service_metrics_concurrent_hammer_is_never_torn():
+    """N threads mutate while others snapshot: every snapshot must be
+    internally consistent (a request's op count, codec bytes, and
+    latency sample land atomically), and the final totals exact."""
+    import threading
+
+    metrics = ServiceMetrics()
+    writers, per_writer = 8, 400
+    bytes_in, bytes_out = 64, 16
+    stop_reading = threading.Event()
+    torn: list[str] = []
+
+    def _write(index: int) -> None:
+        for _ in range(per_writer):
+            metrics.connection_opened()
+            metrics.record_request(
+                "compress",
+                0.001,
+                codec="gorilla",
+                bytes_in=bytes_in,
+                bytes_out=bytes_out,
+            )
+            metrics.record_batch(2)
+            metrics.connection_closed()
+
+    def _read() -> None:
+        while not stop_reading.is_set():
+            snapshot = metrics.snapshot()
+            ops = snapshot["ops"].get("compress")
+            if ops is None:
+                continue
+            codec = snapshot["codecs"].get("gorilla", {})
+            # Atomicity invariants: each record_request lands whole.
+            if ops["latency"]["count"] != ops["requests"]:
+                torn.append(
+                    f"latency {ops['latency']['count']} != "
+                    f"requests {ops['requests']}"
+                )
+            if codec and codec["bytes_in"] != codec["requests"] * bytes_in:
+                torn.append(
+                    f"bytes_in {codec['bytes_in']} != "
+                    f"{codec['requests']} * {bytes_in}"
+                )
+
+    threads = [
+        threading.Thread(target=_write, args=(index,), daemon=True)
+        for index in range(writers)
+    ] + [threading.Thread(target=_read, daemon=True) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads[:writers]:
+        thread.join(timeout=60.0)
+    stop_reading.set()
+    for thread in threads[writers:]:
+        thread.join(timeout=10.0)
+
+    assert torn == []
+    total = writers * per_writer
+    snapshot = metrics.snapshot()
+    assert snapshot["ops"]["compress"]["requests"] == total
+    assert snapshot["ops"]["compress"]["latency"]["count"] == total
+    assert snapshot["codecs"]["gorilla"] == {
+        "requests": total,
+        "bytes_in": total * bytes_in,
+        "bytes_out": total * bytes_out,
+    }
+    assert snapshot["batches"] == {
+        "count": total, "requests": total * 2, "mean_size": 2.0,
+    }
+    assert snapshot["connections"] == {"opened": total, "active": 0}
+
+
 # ----------------------------------------------------------------------
 # Load generator
 # ----------------------------------------------------------------------

@@ -222,6 +222,185 @@ def test_json_payload_rejects_garbage():
 
 
 # ----------------------------------------------------------------------
+# Cluster topology and control payloads
+# ----------------------------------------------------------------------
+def _topology_doc():
+    return {
+        "version": 1,
+        "replication": 2,
+        "vnodes": 128,
+        "nodes": [
+            {
+                "id": f"node-{i}",
+                "host": "127.0.0.1",
+                "port": 7000 + i,
+                "state": "up",
+            }
+            for i in range(3)
+        ],
+    }
+
+
+def test_topology_roundtrip():
+    doc = _topology_doc()
+    assert protocol.decode_topology(protocol.encode_topology(doc)) == doc
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda d: d.pop("version"),
+        lambda d: d.update(version=-1),
+        lambda d: d.update(version=True),
+        lambda d: d.update(version="1"),
+        lambda d: d.update(replication=0),
+        lambda d: d.update(vnodes=0),
+        lambda d: d.update(vnodes=4097),
+        lambda d: d.update(vnodes=True),
+        lambda d: d.update(nodes=[]),
+        lambda d: d.update(nodes="node-0"),
+        lambda d: d["nodes"].append("not-an-object"),
+        lambda d: d["nodes"].append(dict(d["nodes"][0])),  # duplicate id
+        lambda d: d["nodes"][0].update(id=""),
+        lambda d: d["nodes"][0].update(id="x" * 65),
+        lambda d: d["nodes"][0].update(host=""),
+        lambda d: d["nodes"][0].pop("host"),
+        lambda d: d["nodes"][0].update(port=0),
+        lambda d: d["nodes"][0].update(port=65536),
+        lambda d: d["nodes"][0].update(port=True),
+        lambda d: d["nodes"][0].update(port="7000"),
+        lambda d: d["nodes"][0].update(state="zombie"),
+        lambda d: d["nodes"][0].pop("state"),
+    ],
+)
+def test_topology_defects_rejected_on_encode_and_decode(mutate):
+    import json
+
+    doc = _topology_doc()
+    mutate(doc)
+    with pytest.raises(ProtocolError, match="topology"):
+        protocol.encode_topology(doc)
+    with pytest.raises(ProtocolError, match="topology"):
+        protocol.decode_topology(json.dumps(doc).encode())
+
+
+def test_topology_rejects_non_object():
+    with pytest.raises(ProtocolError):
+        protocol.decode_topology(b"[1, 2, 3]")
+    with pytest.raises(ProtocolError):
+        protocol.decode_topology(b"\xff not json")
+
+
+def test_topology_oversized_node_list_rejected():
+    doc = _topology_doc()
+    doc["nodes"] = [
+        {"id": f"node-{i}", "host": "h", "port": 1 + (i % 65535), "state": "up"}
+        for i in range(1025)
+    ]
+    with pytest.raises(ProtocolError, match="nodes"):
+        protocol.encode_topology(doc)
+
+
+def test_topology_payload_fuzz_never_leaks():
+    payload = protocol.encode_topology(_topology_doc())
+    for cut in range(len(payload)):
+        try:
+            protocol.decode_topology(payload[:cut])
+        except ProtocolError:
+            pass
+        except BaseException as exc:  # noqa: BLE001
+            pytest.fail(f"cut at {cut} leaked {type(exc).__name__}: {exc}")
+    for offset in range(len(payload)):
+        damaged = bytearray(payload)
+        damaged[offset] ^= 0xFF
+        try:
+            doc = protocol.decode_topology(bytes(damaged))
+        except ProtocolError:
+            continue
+        except BaseException as exc:  # noqa: BLE001
+            pytest.fail(
+                f"flip at {offset} leaked {type(exc).__name__}: {exc}"
+            )
+        # A flip that still parses (e.g. inside a hostname) must still
+        # be a structurally valid document.
+        protocol.validate_topology(doc)
+
+
+def test_topology_frame_truncation_and_flips():
+    """CLUSTER_TOPOLOGY frames obey the same fuzz bar as every frame:
+    damaged bytes parse to a valid frame or raise ProtocolError."""
+    blob = encode_frame(
+        protocol.CLUSTER_TOPOLOGY, 3, protocol.encode_topology(_topology_doc())
+    )
+    for cut in range(0, len(blob), 7):
+        assert FrameParser().feed(blob[:cut]) == []
+    for offset in range(0, len(blob), 7):
+        damaged = bytearray(blob)
+        damaged[offset] ^= 0xFF
+        parser = FrameParser()
+        try:
+            frames = parser.feed(bytes(damaged))
+        except ProtocolError:
+            continue
+        except BaseException as exc:  # noqa: BLE001
+            pytest.fail(f"flip at {offset} leaked {type(exc).__name__}")
+        for frame in frames:  # only the un-checksummed type byte flip
+            assert offset == len(MAGIC)
+        assert parser.buffered_bytes <= len(blob)
+
+
+def test_control_roundtrip():
+    for action in protocol.CONTROL_ACTIONS:
+        assert protocol.decode_control(protocol.encode_control(action)) == (
+            action,
+            None,
+        )
+    assert protocol.decode_control(
+        protocol.encode_control("drain", "node-1")
+    ) == ("drain", "node-1")
+
+
+def test_control_rejects_bad_input():
+    with pytest.raises(ValueError, match="unknown control action"):
+        protocol.encode_control("explode")
+    with pytest.raises(ProtocolError, match="unknown control action"):
+        protocol.decode_control(protocol.encode_json({"action": "explode"}))
+    with pytest.raises(ProtocolError):
+        protocol.decode_control(protocol.encode_json({}))
+    with pytest.raises(ProtocolError):
+        protocol.decode_control(
+            protocol.encode_json({"action": "drain", "node": 7})
+        )
+    with pytest.raises(ProtocolError):
+        protocol.decode_control(
+            protocol.encode_json({"action": "drain", "node": "x" * 65})
+        )
+    with pytest.raises(ProtocolError):
+        protocol.decode_control(b"\x00\x01garbage")
+
+
+def test_control_payload_fuzz_never_leaks():
+    payload = protocol.encode_control("drain", "node-1")
+    for cut in range(len(payload)):
+        try:
+            protocol.decode_control(payload[:cut])
+        except ProtocolError:
+            pass
+        except BaseException as exc:  # noqa: BLE001
+            pytest.fail(f"cut at {cut} leaked {type(exc).__name__}")
+    for offset in range(len(payload)):
+        damaged = bytearray(payload)
+        damaged[offset] ^= 0xFF
+        try:
+            action, node = protocol.decode_control(bytes(damaged))
+        except ProtocolError:
+            continue
+        except BaseException as exc:  # noqa: BLE001
+            pytest.fail(f"flip at {offset} leaked {type(exc).__name__}")
+        assert action in protocol.CONTROL_ACTIONS
+
+
+# ----------------------------------------------------------------------
 # Typed error frames
 # ----------------------------------------------------------------------
 def test_error_code_mapping_is_bidirectional():
