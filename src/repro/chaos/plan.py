@@ -1,0 +1,164 @@
+"""Declarative fault plans: what breaks, how often, where in the stream.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries plus a
+seed.  Whether a given spec fires on a given connection is a pure
+function of ``(seed, connection_index, spec_index)`` — no global RNG
+state — so two runs of the same plan inject exactly the same faults
+into the same connections, and a failing soak reproduces from its
+recorded plan alone.
+
+Plans round-trip through JSON (``fcbench chaos --plan plan.json``)::
+
+    {"seed": 7, "specs": [
+        {"kind": "latency", "probability": 0.2, "seconds": 0.05},
+        {"kind": "disconnect", "probability": 0.05, "after_bytes": 512}
+    ]}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+
+#: The faults a proxy can inject.  ``connect_refuse`` closes the
+#: client's connection before any bytes flow; the rest act on the
+#: server→client stream: ``latency`` delays the first response bytes,
+#: ``corrupt`` flips one byte at an offset (caught by the frame CRC),
+#: ``disconnect`` cuts the connection mid-stream at an offset, and
+#: ``stall`` freezes the stream at an offset for a while, then resumes.
+FAULT_KINDS = ("connect_refuse", "latency", "disconnect", "corrupt", "stall")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault kind with its trigger probability and parameters."""
+
+    kind: str
+    probability: float = 0.1
+    #: duration of a latency spike or stall, seconds.
+    seconds: float = 0.05
+    #: stream offset (server→client bytes) where disconnect / corrupt /
+    #: stall strikes.
+    after_bytes: int = 256
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (one of {FAULT_KINDS})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability {self.probability} outside [0, 1]")
+        if self.seconds < 0:
+            raise ValueError(f"negative fault seconds {self.seconds}")
+        if self.after_bytes < 0:
+            raise ValueError(f"negative after_bytes {self.after_bytes}")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "probability": self.probability,
+            "seconds": self.seconds,
+            "after_bytes": self.after_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        if not isinstance(data, dict):
+            raise ValueError(f"fault spec is not an object: {data!r}")
+        known = {"kind", "probability", "seconds", "after_bytes"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault spec fields {sorted(unknown)}")
+        if "kind" not in data:
+            raise ValueError("fault spec is missing 'kind'")
+        return cls(**data)
+
+
+def _fires(seed: int, connection_index: int, spec_index: int,
+           probability: float) -> bool:
+    """Deterministic Bernoulli draw for one (connection, spec) pair."""
+    if probability <= 0.0:
+        return False
+    if probability >= 1.0:
+        return True
+    digest = hashlib.blake2b(
+        f"{seed}:{connection_index}:{spec_index}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64) < probability
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of fault specs; deterministic per connection."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def decide(self, connection_index: int) -> list[FaultSpec]:
+        """The faults striking connection number ``connection_index``."""
+        return [
+            spec
+            for index, spec in enumerate(self.specs)
+            if _fires(self.seed, connection_index, index, spec.probability)
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise ValueError(f"fault plan is not an object: {data!r}")
+        unknown = set(data) - {"seed", "specs"}
+        if unknown:
+            raise ValueError(f"unknown fault plan fields {sorted(unknown)}")
+        specs = data.get("specs", [])
+        if not isinstance(specs, list):
+            raise ValueError("fault plan 'specs' is not a list")
+        seed = data.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ValueError(f"fault plan seed {seed!r} is not an integer")
+        return cls(
+            specs=tuple(FaultSpec.from_dict(spec) for spec in specs),
+            seed=seed,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def default(cls, seed: int = 0) -> "FaultPlan":
+        """A mild mixed plan: every fault kind, low probabilities.
+
+        Tuned so a replicated cluster with failover should stay ≥ 99%
+        available — the point of the default soak is to prove graceful
+        degradation, not to prove that unplugging everything hurts.
+        """
+        return cls(
+            specs=(
+                FaultSpec("latency", probability=0.15, seconds=0.03),
+                FaultSpec("stall", probability=0.04, seconds=0.2,
+                          after_bytes=256),
+                FaultSpec("disconnect", probability=0.05, after_bytes=512),
+                FaultSpec("corrupt", probability=0.04, after_bytes=200),
+                FaultSpec("connect_refuse", probability=0.03),
+            ),
+            seed=seed,
+        )

@@ -1,0 +1,243 @@
+"""A fault-injecting TCP proxy — chaos at the transport seam.
+
+:class:`ChaosProxy` listens on a local port and forwards every
+connection to a real target (a compression server node).  Faults from
+a :class:`~repro.chaos.plan.FaultPlan` are applied per connection,
+decided deterministically from the plan's seed and a monotonically
+increasing connection index:
+
+* ``connect_refuse`` — the proxy accepts and immediately closes the
+  client's socket, before the upstream is even dialled.
+* ``latency`` — the first server→client bytes are delayed.
+* ``corrupt`` — one byte of the server→client stream is flipped at an
+  offset; the frame CRC turns this into a typed protocol error, never
+  silent data corruption.
+* ``disconnect`` — the connection is torn down after forwarding an
+  offset's worth of server→client bytes (a mid-frame cut for any
+  non-trivial response).
+* ``stall`` — the server→client stream freezes at an offset for a
+  while, then resumes; short client timeouts see this as a slow node.
+
+Client→server bytes are always forwarded verbatim, so the server only
+ever sees well-formed requests — faults exercise the *client-side*
+resilience stack (retries, failover, breakers, deadlines), which is
+the layer under test.  The proxy runs its own asyncio loop on a daemon
+thread, so it composes with the synchronous clients and the process
+supervisor without any event-loop entanglement.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.chaos.plan import FaultPlan, FaultSpec
+
+__all__ = ["ChaosProxy"]
+
+_CHUNK = 1 << 16
+
+
+def _close_writer(writer: asyncio.StreamWriter) -> None:
+    try:
+        writer.close()
+    except Exception:
+        pass
+
+
+class ChaosProxy:
+    """Forward TCP to ``(target_host, target_port)``, injecting faults."""
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        plan: Optional[FaultPlan] = None,
+        *,
+        listen_host: str = "127.0.0.1",
+        listen_port: int = 0,
+    ):
+        self.target_host = target_host
+        self.target_port = int(target_port)
+        self.plan = plan if plan is not None else FaultPlan()
+        self.listen_host = listen_host
+        self.listen_port = int(listen_port)
+
+        self._lock = threading.Lock()
+        self._connection_index = 0
+        self._injected: dict[str, int] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ChaosProxy":
+        if self._thread is not None:
+            raise RuntimeError("chaos proxy already started")
+        self._thread = threading.Thread(
+            target=self._run, name="chaos-proxy", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"chaos proxy failed to start: {self._startup_error}"
+            )
+        if not self._started.is_set():
+            raise RuntimeError("chaos proxy did not start within 10s")
+        return self
+
+    def stop(self) -> None:
+        loop = self._loop
+        stop = self._stop
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.listen_host, self.listen_port)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "connections": self._connection_index,
+                "injected": dict(sorted(self._injected.items())),
+            }
+
+    # -- event loop --------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:  # pragma: no cover - defensive
+            self._startup_error = exc
+            self._started.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle, self.listen_host, self.listen_port
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self.listen_port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        async with server:
+            await self._stop.wait()
+
+    def _record(self, kind: str) -> None:
+        with self._lock:
+            self._injected[kind] = self._injected.get(kind, 0) + 1
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        with self._lock:
+            index = self._connection_index
+            self._connection_index += 1
+        faults = {spec.kind: spec for spec in self.plan.decide(index)}
+
+        if "connect_refuse" in faults:
+            self._record("connect_refuse")
+            _close_writer(writer)
+            return
+
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.target_host, self.target_port
+            )
+        except OSError:
+            # The node is down (killed, draining, restarting).  Pass the
+            # refusal through so clients see an honest transport fault.
+            _close_writer(writer)
+            return
+
+        upstream = asyncio.ensure_future(self._pump(reader, up_writer, {}))
+        downstream = asyncio.ensure_future(
+            self._pump(up_reader, writer, faults)
+        )
+        try:
+            done, pending = await asyncio.wait(
+                {upstream, downstream},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            _close_writer(up_writer)
+            _close_writer(writer)
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        faults: dict[str, FaultSpec],
+    ) -> None:
+        latency = faults.get("latency")
+        corrupt = faults.get("corrupt")
+        disconnect = faults.get("disconnect")
+        stall = faults.get("stall")
+        forwarded = 0
+        first_chunk = True
+        stalled = False
+        try:
+            while True:
+                data = await reader.read(_CHUNK)
+                if not data:
+                    return
+                if latency is not None and first_chunk:
+                    self._record("latency")
+                    await asyncio.sleep(latency.seconds)
+                first_chunk = False
+                if (
+                    corrupt is not None
+                    and forwarded <= corrupt.after_bytes < forwarded + len(data)
+                ):
+                    self._record("corrupt")
+                    flipped = bytearray(data)
+                    flipped[corrupt.after_bytes - forwarded] ^= 0xFF
+                    data = bytes(flipped)
+                if (
+                    stall is not None
+                    and not stalled
+                    and forwarded + len(data) >= stall.after_bytes
+                ):
+                    stalled = True
+                    self._record("stall")
+                    await asyncio.sleep(stall.seconds)
+                if (
+                    disconnect is not None
+                    and forwarded + len(data) >= disconnect.after_bytes
+                ):
+                    self._record("disconnect")
+                    cut = max(0, disconnect.after_bytes - forwarded)
+                    if cut:
+                        writer.write(data[:cut])
+                        await writer.drain()
+                    return
+                writer.write(data)
+                await writer.drain()
+                forwarded += len(data)
+        except (ConnectionError, OSError):
+            return

@@ -323,6 +323,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         guard=not args.no_guard,
         auto=args.auto,
         service=args.service,
+        resilience=args.resilience,
         seed=args.seed,
         on_cell=on_cell,
     )
@@ -676,6 +677,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_max=args.batch_max,
         batch_window=args.batch_window,
         grace=args.grace,
+        max_queued_requests=args.max_queued_requests,
+        max_queued_bytes=args.max_queued_bytes,
+        shed_retry_after_ms=args.shed_retry_after_ms,
         node_id=args.node_id,
         topology=topology,
     )
@@ -909,6 +913,80 @@ def _cmd_cluster_drain(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# fcbench chaos
+# ----------------------------------------------------------------------
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.chaos import FaultPlan, run_chaos_soak
+
+    plan = None
+    if args.plan:
+        try:
+            plan = FaultPlan.from_json(Path(args.plan).read_text())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: cannot load plan {args.plan!r}: {exc}")
+    kill_node = None if args.no_kill else args.kill
+    try:
+        report = run_chaos_soak(
+            nodes=args.nodes,
+            replication=args.replication,
+            connections=args.connections,
+            duration_seconds=args.seconds,
+            elements=args.elements,
+            chunk_elements=args.chunk_elements,
+            codec=args.codec,
+            dataset=args.dataset,
+            seed=args.seed,
+            plan=plan,
+            kill_node=kill_node,
+            drain_node=args.drain,
+            op_deadline=args.op_deadline,
+            attempt_timeout=args.attempt_timeout,
+        )
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.output}")
+    else:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    print(
+        f"chaos soak: {report['ops']} ops in "
+        f"{report['duration_seconds']:.1f}s — availability "
+        f"{report['availability'] * 100:.2f}%, "
+        f"{report['deadline_misses']} deadline misses, "
+        f"{report['byte_identity_failures']} byte-identity failures, "
+        f"p99 {report['latency_under_faults']['p99_ms']:.1f}ms under faults",
+        flush=True,
+    )
+    failed = []
+    if report["availability"] < args.min_availability:
+        failed.append(
+            f"availability {report['availability'] * 100:.2f}% below the "
+            f"--min-availability gate ({args.min_availability * 100:.2f}%)"
+        )
+    if report["byte_identity_failures"]:
+        failed.append(
+            f"{report['byte_identity_failures']} successful round trips "
+            "returned bytes differing from the local reference"
+        )
+    if report["failures"]["untyped"]:
+        failed.append(
+            f"{report['failures']['untyped']} failures outside the typed "
+            f"error taxonomy: {report['untyped_examples']}"
+        )
+    if failed:
+        for reason in failed:
+            print(f"FAIL: {reason}", flush=True)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
 # fcbench list
 # ----------------------------------------------------------------------
 def _list_json() -> str:
@@ -1116,6 +1194,13 @@ def build_parser() -> argparse.ArgumentParser:
         "percentiles in the snapshot",
     )
     p_bench.add_argument(
+        "--resilience",
+        action="store_true",
+        help="also run the chaos soak (supervised cluster behind "
+        "fault-injecting proxies, mid-run node kill) and record "
+        "availability / shed / deadline-miss rates in the snapshot",
+    )
+    p_bench.add_argument(
         "--output", help="write the snapshot to this path instead"
     )
     p_bench.add_argument(
@@ -1267,6 +1352,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5.0,
         help="drain grace period on shutdown (default %(default)ss)",
+    )
+    p_serve.add_argument(
+        "--max-queued-requests",
+        type=int,
+        default=256,
+        help="admission gate: heavy requests admitted but not yet "
+        "finished before shedding (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--max-queued-bytes",
+        type=int,
+        default=1 << 28,
+        help="admission gate: summed payload bytes admitted before "
+        "shedding (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--shed-retry-after-ms",
+        type=int,
+        default=50,
+        help="backoff hint carried by shed responses (default %(default)s)",
     )
     p_serve.add_argument(
         "--metrics-json",
@@ -1476,6 +1581,78 @@ def build_parser() -> argparse.ArgumentParser:
     cl_drain.add_argument("node", help="node id to drain (e.g. node-1)")
     _add_control_args(cl_drain)
     cl_drain.set_defaults(func=_cmd_cluster_drain)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="soak a supervised cluster behind fault-injecting proxies "
+        "and report availability, shed and deadline-miss rates",
+    )
+    p_chaos.add_argument(
+        "--nodes", type=int, default=3,
+        help="cluster size (default %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--replication", type=int, default=2,
+        help="replicas per shard (default %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--connections", type=int, default=4,
+        help="concurrent workers (default %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--seconds", type=float, default=6.0,
+        help="soak duration (default %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--elements", type=int, default=2048,
+        help="elements per request (default %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--chunk-elements", type=int, default=1024,
+        help="chunk size (default %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--codec", default="gorilla",
+        help="codec under test (default %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--dataset", default="tpcH-order",
+        help="dataset slice (default %(default)s)",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0, help="plan/data seed")
+    p_chaos.add_argument(
+        "--plan",
+        help="JSON fault-plan file (default: the built-in mild mixed plan)",
+    )
+    p_chaos.add_argument(
+        "--kill", default="auto", metavar="NODE",
+        help="SIGKILL this node id mid-run ('auto' picks one; "
+        "default %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--no-kill", action="store_true",
+        help="skip the mid-run node kill",
+    )
+    p_chaos.add_argument(
+        "--drain", metavar="NODE",
+        help="gracefully drain this node id mid-run ('auto' picks one)",
+    )
+    p_chaos.add_argument(
+        "--op-deadline", type=float, default=8.0,
+        help="per-operation deadline budget, seconds (default %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--attempt-timeout", type=float, default=2.0,
+        help="per-node attempt timeout, seconds (default %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--min-availability", type=float, default=0.99,
+        help="exit non-zero below this availability (default %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--output", help="write the JSON report here instead of stdout"
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_list = sub.add_parser("list", help="enumerate methods and datasets")
     p_list.add_argument("--methods", action="store_true", help="methods only")

@@ -16,29 +16,35 @@ trivially safe: if the primary dies mid-request the client replays the
 request on the next replica and the caller sees the exact bytes the
 primary would have produced.
 
-Failure handling, in order:
+Failure handling, in order (one deadline budget spans all of it):
 
-1. transport faults and timeouts on a node → try the next replica;
-2. whole replica set down → refresh the topology from every known
-   address (a restarted or rebalanced cluster answers) and retry once;
-3. still nothing → :class:`~repro.errors.ClusterError`.
+1. a node whose circuit breaker is open is skipped without dialing;
+2. transport faults and timeouts on a node → breaker strike, try the
+   next replica; a typed overload shed also moves on, without a strike;
+3. whole replica set down → refresh the topology from every known
+   address (a restarted or rebalanced cluster answers) and retry once,
+   force-probing tripped breakers;
+4. still nothing, or the deadline budget ran out →
+   :class:`~repro.errors.ClusterError`.
 
 Typed request failures (``CorruptStreamError``, ``SelectionError``,
-``UnsupportedDtypeError``) are *not* failed over: they are
-deterministic properties of the request and every replica would answer
-identically.
+``UnsupportedDtypeError``, ``DeadlineExceededError``) are *not* failed
+over: they are deterministic properties of the request and every
+replica would answer identically.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
 from repro.api.frames import DEFAULT_CHUNK_ELEMENTS
 from repro.cluster.ring import HashRing
-from repro.errors import ClusterError, ProtocolError
+from repro.errors import ClusterError, ProtocolError, ServerOverloadedError
 from repro.service.client import DEFAULT_CODEC, ServiceClient
+from repro.service.resilience import CircuitBreaker, Deadline, RetryPolicy
 
 __all__ = ["ClusterClient", "parse_seed"]
 
@@ -81,6 +87,34 @@ class ClusterClient:
         Per-shard :class:`ServiceClient` knobs.  Per-node retries are
         disabled (``retries=0``): the cluster layer owns retry policy,
         and its retry is the next replica, not the same dead node.
+        ``timeout`` is the *overall operation deadline*: both failover
+        passes, the topology refresh between them, and every backoff
+        sleep spend from the same budget, so a full-set failure cannot
+        stretch an operation past it.
+    attempt_timeout:
+        Cap on one node attempt's socket operations.  Defaults to
+        ``timeout``; set it lower so a slow replica leaves budget for
+        its siblings.
+    retry_policy:
+        The shared :class:`~repro.service.resilience.RetryPolicy`
+        pacing the refresh pass (its ``delay(0)`` separates the two
+        failover passes).
+    breaker_threshold, breaker_reset:
+        Per-node circuit breaker tuning: trip after this many
+        *consecutive* transport faults, stay open for ``breaker_reset``
+        seconds before a half-open probe.  The second failover pass
+        force-probes tripped nodes — trying them is still better than
+        failing the operation.
+    propagate_deadline:
+        Send each attempt's remaining budget on the wire (flagged
+        frame header) so servers reject or skip expired work.  Off by
+        default because pre-deadline servers cannot parse flagged
+        frames; turn it on when the cluster runs current nodes.
+    address_overrides:
+        Map ``"host:port"`` (as published in the topology) to the
+        ``(host, port)`` actually dialed.  The chaos harness routes
+        node traffic through fault-injecting proxies with this seam;
+        placement and node identity still follow the topology.
     """
 
     def __init__(
@@ -91,6 +125,12 @@ class ClusterClient:
         pool_size: int = 2,
         timeout: float = 30.0,
         max_payload: int | None = None,
+        attempt_timeout: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 2.5,
+        propagate_deadline: bool = False,
+        address_overrides: dict | None = None,
     ) -> None:
         self.seeds = [parse_seed(seed) for seed in seeds]
         if not self.seeds:
@@ -101,12 +141,31 @@ class ClusterClient:
         self.pool_size = int(pool_size)
         self.timeout = float(timeout)
         self.max_payload = max_payload
+        self.attempt_timeout = (
+            float(attempt_timeout) if attempt_timeout is not None
+            else self.timeout
+        )
+        self.retry_policy = (
+            retry_policy if retry_policy is not None
+            else RetryPolicy(max_attempts=2)
+        )
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_reset = float(breaker_reset)
+        self.propagate_deadline = bool(propagate_deadline)
+        self.address_overrides = {
+            key: parse_seed(value)
+            for key, value in (address_overrides or {}).items()
+        }
         self._lock = threading.Lock()
         self._clients: dict[str, ServiceClient] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._topology: dict = {}
         self._ring: HashRing | None = None
         self._addresses: dict[str, tuple[str, int]] = {}
         self._states: dict[str, str] = {}
+        self._failovers = 0
+        self._breaker_skips = 0
+        self._refreshes = 0
         self._closed = False
         self.refresh()
 
@@ -120,18 +179,32 @@ class ClusterClient:
                 ordered.append(address)
         return ordered
 
-    def refresh(self) -> dict:
+    def _dial_address(self, host: str, port: int) -> tuple[str, int]:
+        """The address actually dialed for a published node address."""
+        return self.address_overrides.get(f"{host}:{port}", (host, port))
+
+    def refresh(self, deadline: Deadline | None = None) -> dict:
         """Re-discover the topology; returns the adopted document.
 
         Tries every seed, then every previously known node address —
         a cluster that lost its first seed is still discoverable
-        through any survivor.
+        through any survivor.  When a ``deadline`` is given the probe
+        sweep stops the moment it expires instead of paying a full
+        timeout per unreachable address.
         """
+        with self._lock:
+            self._refreshes += 1
         last: Exception | None = None
         for host, port in self._bootstrap_addresses():
+            if deadline is not None and deadline.expired:
+                raise ClusterError(
+                    "topology refresh abandoned: operation deadline "
+                    f"expired (last probe failure: {last})"
+                ) from last
+            dial_host, dial_port = self._dial_address(host, port)
             probe = ServiceClient(
-                host,
-                port,
+                dial_host,
+                dial_port,
                 pool_size=1,
                 retries=0,
                 timeout=self.timeout,
@@ -142,7 +215,7 @@ class ClusterClient:
                 ),
             )
             try:
-                topology = probe.cluster_topology()
+                topology = probe.cluster_topology(deadline=deadline)
             except _FAILOVER_ERRORS as exc:
                 last = exc
                 continue
@@ -203,12 +276,14 @@ class ClusterClient:
             client = self._clients.get(node_id)
             if client is None:
                 host, port = self._addresses[node_id]
+                dial_host, dial_port = self._dial_address(host, port)
                 client = ServiceClient(
-                    host,
-                    port,
+                    dial_host,
+                    dial_port,
                     pool_size=self.pool_size,
                     retries=0,
-                    timeout=self.timeout,
+                    timeout=self.attempt_timeout,
+                    propagate_deadline=self.propagate_deadline,
                     **(
                         {"max_payload": self.max_payload}
                         if self.max_payload is not None
@@ -218,6 +293,17 @@ class ClusterClient:
                 self._clients[node_id] = client
             return client
 
+    def _breaker(self, node_id: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(node_id)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.breaker_threshold,
+                    reset_timeout=self.breaker_reset,
+                )
+                self._breakers[node_id] = breaker
+            return breaker
+
     def _drop_client(self, node_id: str) -> None:
         with self._lock:
             client = self._clients.pop(node_id, None)
@@ -225,43 +311,101 @@ class ClusterClient:
             client.close()
 
     # -- failover core -------------------------------------------------
-    def _execute(self, stream_id: str, op):
-        """Run ``op(client)`` on the replica set with failover.
+    @staticmethod
+    def _failure_detail(failures: list[tuple[str, Exception]]) -> str:
+        return "; ".join(
+            f"{node}: {type(exc).__name__}: {exc}" for node, exc in failures
+        )
 
-        Walks the replicas in placement order, skipping nodes the
-        topology marks unroutable; if every replica fails with a
-        transport fault, refreshes the topology once (the supervisor
-        may have restarted nodes) and walks the fresh replica set.
+    def _execute(self, stream_id: str, op):
+        """Run ``op(client, deadline)`` on the replica set with failover.
+
+        One :class:`Deadline` (the client's ``timeout``) spans the
+        whole walk: both passes, the topology refresh between them, and
+        the pacing sleep all spend from it, so a full-set failure
+        surfaces within the caller's budget instead of doubling it.
+
+        Pass order per replica: the circuit breaker is consulted first
+        (a tripped node is skipped without paying a connect timeout),
+        then the node state, then the attempt.  The second pass — after
+        a refresh — force-probes breakers and ignores stale ``down``
+        marks: failover must not strand a key whose whole replica set
+        was momentarily marked dead.
+
+        Typed data errors propagate untouched; a typed overload answer
+        fails over to the next replica but is *not* a breaker strike —
+        a shedding node is alive, just busy.
         """
+        deadline = Deadline.after(self.timeout)
         failures: list[tuple[str, Exception]] = []
         for attempt in range(2):
             replicas = self.nodes_for(stream_id)
             with self._lock:
                 states = dict(self._states)
             for node_id in replicas:
-                # Stale "down" marks are re-tried on the second pass:
-                # failover must not strand a key whose whole replica
-                # set was momentarily marked down.
+                if deadline.expired:
+                    raise ClusterError(
+                        f"operation deadline ({self.timeout}s) exhausted "
+                        f"serving stream {stream_id!r}: "
+                        f"{self._failure_detail(failures) or 'no attempts'}"
+                    )
                 if attempt == 0 and states.get(node_id) not in _ROUTABLE_STATES:
                     continue
+                breaker = self._breaker(node_id)
+                if not breaker.allow(force_probe=attempt == 1):
+                    with self._lock:
+                        self._breaker_skips += 1
+                    failures.append(
+                        (node_id, ClusterError("circuit breaker open"))
+                    )
+                    continue
                 try:
-                    return op(self._client_for(node_id))
+                    result = op(self._client_for(node_id), deadline)
+                except ServerOverloadedError as exc:
+                    breaker.record_success()
+                    failures.append((node_id, exc))
+                    continue
                 except _FAILOVER_ERRORS as exc:
+                    breaker.record_failure()
+                    with self._lock:
+                        self._failovers += 1
                     failures.append((node_id, exc))
                     self._drop_client(node_id)
+                    continue
+                breaker.record_success()
+                return result
             if attempt == 0:
+                time.sleep(deadline.clamp(self.retry_policy.delay(0)))
+                if deadline.expired:
+                    raise ClusterError(
+                        f"operation deadline ({self.timeout}s) exhausted "
+                        f"before the topology refresh for stream "
+                        f"{stream_id!r}: {self._failure_detail(failures)}"
+                    )
                 try:
-                    self.refresh()
+                    self.refresh(deadline=deadline)
                 except ClusterError as exc:
                     failures.append(("<refresh>", exc))
                     break
-        detail = "; ".join(
-            f"{node}: {type(exc).__name__}: {exc}" for node, exc in failures
-        )
         raise ClusterError(
             f"no replica could serve stream {stream_id!r} "
-            f"(replication {self.replication}): {detail or 'no live nodes'}"
+            f"(replication {self.replication}): "
+            f"{self._failure_detail(failures) or 'no live nodes'}"
         )
+
+    def resilience_snapshot(self) -> dict:
+        """Metrics-visible view of breakers and failover accounting."""
+        with self._lock:
+            breakers = {
+                node_id: breaker.snapshot()
+                for node_id, breaker in sorted(self._breakers.items())
+            }
+            return {
+                "breakers": breakers,
+                "failovers": self._failovers,
+                "breaker_skips": self._breaker_skips,
+                "topology_refreshes": self._refreshes,
+            }
 
     # -- request surface -----------------------------------------------
     def compress_stream(
@@ -282,8 +426,12 @@ class ClusterClient:
         array = np.asarray(array)
         return self._execute(
             stream_id,
-            lambda client: client.compress_array(
-                array, codec, chunk_elements=chunk_elements, policy=policy
+            lambda client, deadline: client.compress_array(
+                array,
+                codec,
+                chunk_elements=chunk_elements,
+                policy=policy,
+                deadline=deadline,
             ),
         )
 
@@ -291,7 +439,10 @@ class ClusterClient:
         """Decompress ``blob`` on ``stream_id``'s shard."""
         blob = bytes(blob)
         return self._execute(
-            stream_id, lambda client: client.decompress_array(blob)
+            stream_id,
+            lambda client, deadline: client.decompress_array(
+                blob, deadline=deadline
+            ),
         )
 
     def select_explain_stream(
@@ -306,8 +457,11 @@ class ClusterClient:
         array = np.asarray(array)
         return self._execute(
             stream_id,
-            lambda client: client.select_explain(
-                array, policy=policy, chunk_elements=chunk_elements
+            lambda client, deadline: client.select_explain(
+                array,
+                policy=policy,
+                chunk_elements=chunk_elements,
+                deadline=deadline,
             ),
         )
 

@@ -72,6 +72,34 @@ class ServiceError(ReproError):
     """
 
 
+class DeadlineExceededError(ServiceError):
+    """A request's deadline budget expired before the server ran it.
+
+    Raised when the server rejects already-expired work at admission
+    time or discards a batched item whose budget lapsed while queued.
+    Deliberately *not* a :class:`TimeoutError` subclass: a propagated
+    deadline is an end-to-end budget, and retrying or failing over
+    cannot buy more of it, so retry layers must let it surface.
+    """
+
+
+class ServerOverloadedError(ServiceError):
+    """The server shed this request at its admission gate.
+
+    Unlike most service errors this one is *retryable*: the work was
+    never queued, so a later attempt (after ``retry_after_ms``) or a
+    different replica may succeed.
+
+    Attributes:
+        retry_after_ms: server's hint for how long to back off, or
+            ``None`` when the server did not provide one.
+    """
+
+    def __init__(self, message: str, retry_after_ms: int | None = None):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
 class ClusterError(ServiceError):
     """A cluster operation could not complete on any eligible node.
 

@@ -248,6 +248,7 @@ def run_bench(
     guard: bool = True,
     auto: bool = False,
     service: bool = False,
+    resilience: bool = False,
     seed: int = 0,
     on_cell: Callable[[dict], None] | None = None,
 ) -> dict:
@@ -309,6 +310,16 @@ def run_bench(
         report["service"]["cluster"] = run_cluster_loadgen(
             seed=seed,
             on_result=on_cell if on_cell is not None else None,
+        )
+    if resilience:
+        # Availability / shed / deadline-miss under injected faults and
+        # a mid-run node kill (see repro/chaos/soak.py), so the snapshot
+        # tracks graceful degradation per commit, not just clean-path
+        # speed.
+        from repro.chaos import run_chaos_soak
+
+        report.setdefault("service", {})["resilience"] = run_chaos_soak(
+            seed=seed
         )
     return report
 

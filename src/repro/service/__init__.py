@@ -5,8 +5,10 @@ multi-client TCP service: a length-prefixed binary wire protocol
 (:mod:`repro.service.protocol`), an asyncio server with per-connection
 backpressure, request batching, and graceful drain
 (:mod:`repro.service.server`), sync and async client libraries
-(:mod:`repro.service.client`), and request/latency metrics
-(:mod:`repro.service.metrics`).
+(:mod:`repro.service.client`), request/latency metrics
+(:mod:`repro.service.metrics`), and the resilience primitives —
+deadlines, retry policies and budgets, circuit breakers — the clients
+compose around their transports (:mod:`repro.service.resilience`).
 
 Compressed payloads cross the wire as FCF streams verbatim, so a served
 round trip is byte-identical to a local ``compress_array`` /
@@ -29,6 +31,12 @@ from repro.service.protocol import (
     FrameParser,
     encode_frame,
 )
+from repro.service.resilience import (
+    CircuitBreaker,
+    Deadline,
+    RetryBudget,
+    RetryPolicy,
+)
 from repro.service.server import (
     CompressionServer,
     ServerHandle,
@@ -38,14 +46,18 @@ from repro.service.server import (
 
 __all__ = [
     "AsyncServiceClient",
+    "CircuitBreaker",
     "CompressionServer",
     "DEFAULT_CODEC",
     "DEFAULT_MAX_PAYLOAD",
+    "Deadline",
     "Frame",
     "FrameParser",
     "LatencyHistogram",
     "MAGIC",
     "PROTOCOL_VERSION",
+    "RetryBudget",
+    "RetryPolicy",
     "ServerHandle",
     "ServiceClient",
     "ServiceMetrics",

@@ -35,8 +35,9 @@ import time
 import numpy as np
 
 from repro.api.frames import DEFAULT_CHUNK_ELEMENTS
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ServerOverloadedError
 from repro.service import protocol
+from repro.service.resilience import Deadline, RetryBudget, RetryPolicy
 from repro.service.protocol import (
     CLUSTER_CONTROL,
     CLUSTER_TOPOLOGY,
@@ -70,9 +71,38 @@ class _Connection:
         self.sock.settimeout(timeout)
         self.parser = FrameParser(max_payload)
 
-    def request(self, frame_type: int, request_id: int, payload: bytes) -> Frame:
-        self.sock.sendall(encode_frame(frame_type, request_id, payload))
+    def request(
+        self,
+        frame_type: int,
+        request_id: int,
+        payload: bytes,
+        *,
+        timeout: float,
+        deadline: Deadline | None = None,
+        deadline_ms: int | None = None,
+    ) -> Frame:
+        """One round trip.  ``timeout`` caps each socket operation;
+        ``deadline`` (when given) additionally caps the *whole* wait,
+        and ``deadline_ms`` rides on the wire for the server to enforce.
+        """
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if remaining <= 0:
+                raise TimeoutError("operation deadline expired before send")
+            self.sock.settimeout(min(timeout, remaining))
+        else:
+            self.sock.settimeout(timeout)
+        self.sock.sendall(
+            encode_frame(frame_type, request_id, payload, deadline_ms)
+        )
         while True:
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        "operation deadline expired awaiting the reply"
+                    )
+                self.sock.settimeout(min(timeout, remaining))
             data = self.sock.recv(1 << 16)
             if not data:
                 raise ConnectionError("server closed the connection mid-reply")
@@ -123,9 +153,34 @@ class ServiceClient:
     retries:
         Transparent re-dials after a transient transport failure
         (connection reset, broken pipe).  Requests are idempotent pure
-        functions, so replaying one is always safe.
+        functions, so replaying one is always safe.  Shorthand for a
+        default :class:`~repro.service.resilience.RetryPolicy` with
+        ``retries + 1`` attempts; ignored when ``retry_policy`` is
+        given.
     timeout:
-        Per-socket-operation timeout in seconds.
+        The *overall operation deadline* in seconds: one budget that
+        every attempt, backoff sleep, and re-dial spends from.  It also
+        caps each individual socket operation, so the previous
+        per-socket-timeout behavior is an upper bound, never exceeded.
+        A per-call ``deadline=`` argument overrides it per request.
+    retry_policy:
+        Backoff schedule shared with the cluster client; see
+        :class:`~repro.service.resilience.RetryPolicy`.
+    retry_budget:
+        Token bucket bounding the client-wide retry fraction; one is
+        created when omitted.
+    propagate_deadline:
+        When true, every request carries its remaining budget (whole
+        ms) in the flagged frame header so the server can reject or
+        skip expired work.  Off by default: a flagged frame is not
+        parseable by pre-deadline servers, so enabling this is the
+        caller's statement that the server is new enough.
+
+    Retry semantics: transient transport faults and typed
+    ``ServerOverloadedError`` sheds are retried (the latter honoring
+    the server's retry-after hint); ``TimeoutError``, typed data errors
+    (``CorruptStreamError`` …), ``DeadlineExceededError``, and
+    ``ProtocolError`` never are.
     """
 
     def __init__(
@@ -137,13 +192,23 @@ class ServiceClient:
         retries: int = 1,
         timeout: float = 30.0,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
+        retry_policy: RetryPolicy | None = None,
+        retry_budget: RetryBudget | None = None,
+        propagate_deadline: bool = False,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be positive")
         self.host = host
         self.port = int(port)
         self.pool_size = int(pool_size)
-        self.retries = max(0, int(retries))
+        if retry_policy is None:
+            retry_policy = RetryPolicy(max_attempts=max(0, int(retries)) + 1)
+        self.retry_policy = retry_policy
+        self.retries = retry_policy.max_attempts - 1
+        self.retry_budget = (
+            retry_budget if retry_budget is not None else RetryBudget()
+        )
+        self.propagate_deadline = bool(propagate_deadline)
         self.timeout = float(timeout)
         self.max_payload = int(max_payload)
         self._pool: list[_Connection] = []
@@ -152,13 +217,18 @@ class ServiceClient:
         self._closed = False
 
     # -- pooling -------------------------------------------------------
-    def _checkout(self) -> _Connection:
+    def _checkout(self, connect_timeout: float | None = None) -> _Connection:
         with self._lock:
             if self._closed:
                 raise ProtocolError("client is closed")
             if self._pool:
                 return self._pool.pop()
-        return _Connection(self.host, self.port, self.timeout, self.max_payload)
+        return _Connection(
+            self.host,
+            self.port,
+            self.timeout if connect_timeout is None else connect_timeout,
+            self.max_payload,
+        )
 
     def _checkin(self, conn: _Connection) -> None:
         with self._lock:
@@ -172,40 +242,100 @@ class ServiceClient:
             self._next_id += 1
             return self._next_id
 
-    def _request(self, frame_type: int, payload: bytes) -> Frame:
+    def _resolve_deadline(self, deadline) -> Deadline:
+        if isinstance(deadline, Deadline):
+            return deadline
+        return Deadline.after(self.timeout if deadline is None else deadline)
+
+    def _may_retry(self, attempts: int, deadline: Deadline) -> bool:
+        """Common gate for every retry: attempts, budget, and deadline."""
+        return (
+            attempts < self.retry_policy.max_attempts
+            and not deadline.expired
+            and self.retry_budget.try_spend()
+        )
+
+    def _request(
+        self, frame_type: int, payload: bytes, deadline=None
+    ) -> Frame:
+        op_deadline = self._resolve_deadline(deadline)
         request_id = self._request_id()
+        self.retry_budget.record_call()
         last: BaseException | None = None
-        for _ in range(self.retries + 1):
-            conn = self._checkout()
+        attempts = 0
+        while True:
+            attempts += 1
+            conn: _Connection | None = None
+            kept = False
             try:
-                frame = conn.request(frame_type, request_id, payload)
+                connect_timeout = op_deadline.clamp(self.timeout)
+                if connect_timeout <= 0:
+                    raise TimeoutError(
+                        f"operation deadline expired after {attempts - 1} "
+                        f"attempt(s): {last}"
+                    )
+                conn = self._checkout(connect_timeout)
+                deadline_ms = (
+                    op_deadline.remaining_ms()
+                    if self.propagate_deadline
+                    else None
+                )
+                frame = conn.request(
+                    frame_type,
+                    request_id,
+                    payload,
+                    timeout=self.timeout,
+                    deadline=op_deadline,
+                    deadline_ms=deadline_ms,
+                )
+                self._checkin(conn)
+                kept = True
+                return _check_response(frame, frame_type, request_id)
             except TimeoutError:
                 # A slow request is not a transport fault: the server
                 # may still be executing it, so replaying would double
                 # its work.  Surface the timeout as a timeout.
-                conn.close()
                 raise
+            except ServerOverloadedError as exc:
+                # The server shed the request before queueing it, so a
+                # replay is free of double-execution risk — wait out
+                # the server's hint (budget permitting) and try again.
+                last = exc
+                if not self._may_retry(attempts, op_deadline):
+                    raise
+                delay = self.retry_policy.delay(attempts - 1)
+                if exc.retry_after_ms is not None:
+                    delay = max(delay, exc.retry_after_ms / 1e3)
+                if delay >= op_deadline.remaining():
+                    raise
+                time.sleep(delay)
             except _TRANSIENT as exc:
                 # The connection is poisoned either way; retry dials a
                 # fresh one.  ProtocolError is deliberately NOT retried:
                 # the server is answering, just not speaking FCS.
-                conn.close()
                 last = exc
-                continue
-            except BaseException:
-                conn.close()
-                raise
-            self._checkin(conn)
-            return _check_response(frame, frame_type, request_id)
-        raise ProtocolError(
-            f"request failed after {self.retries + 1} attempt(s): {last}"
-        ) from last
+                if not self._may_retry(attempts, op_deadline):
+                    raise ProtocolError(
+                        f"request failed after {attempts} attempt(s): {last}"
+                    ) from last
+                time.sleep(op_deadline.clamp(self.retry_policy.delay(attempts - 1)))
+            finally:
+                # Satellite of the resilience work: every checked-out
+                # connection is either back in the pool or closed, on
+                # *every* exit path — success, typed error, timeout,
+                # transport fault, or an exception raised between
+                # checkout and checkin.
+                if conn is not None and not kept:
+                    conn.close()
 
     # -- request surface -----------------------------------------------
-    def ping(self, payload: bytes = b"fcbench") -> float:
+    # Every method takes an optional ``deadline``: seconds (or a
+    # pre-built Deadline) bounding the whole operation across retries;
+    # ``None`` falls back to the client's ``timeout``.
+    def ping(self, payload: bytes = b"fcbench", *, deadline=None) -> float:
         """Round-trip ``payload``; returns the wall-clock seconds taken."""
         start = time.perf_counter()
-        frame = self._request(PING, bytes(payload))
+        frame = self._request(PING, bytes(payload), deadline)
         if frame.payload != bytes(payload):
             raise ProtocolError("pong payload does not echo the ping")
         return time.perf_counter() - start
@@ -217,6 +347,7 @@ class ServiceClient:
         *,
         chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
         policy: str = "heuristic",
+        deadline=None,
     ) -> bytes:
         """Served mirror of :func:`repro.api.compress_array`.
 
@@ -227,11 +358,11 @@ class ServiceClient:
         payload = protocol.encode_compress_request(
             np.asarray(array), codec, chunk_elements, policy
         )
-        return self._request(COMPRESS, payload).payload
+        return self._request(COMPRESS, payload, deadline).payload
 
-    def decompress_array(self, blob) -> np.ndarray:
+    def decompress_array(self, blob, *, deadline=None) -> np.ndarray:
         """Served mirror of :func:`repro.api.decompress_array`."""
-        frame = self._request(DECOMPRESS, bytes(blob))
+        frame = self._request(DECOMPRESS, bytes(blob), deadline)
         return protocol.decode_array(frame.payload)
 
     def select_explain(
@@ -240,22 +371,27 @@ class ServiceClient:
         *,
         policy: str = "heuristic",
         chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+        deadline=None,
     ) -> dict:
         """Per-chunk selection decisions, as ``fcbench select explain``."""
         payload = protocol.encode_explain_request(
             np.asarray(array), policy, chunk_elements
         )
-        return protocol.decode_json(self._request(SELECT_EXPLAIN, payload).payload)
+        return protocol.decode_json(
+            self._request(SELECT_EXPLAIN, payload, deadline).payload
+        )
 
-    def stats(self) -> dict:
+    def stats(self, *, deadline=None) -> dict:
         """The server's :meth:`ServiceMetrics.snapshot`."""
-        return protocol.decode_json(self._request(STATS, b"").payload)
+        return protocol.decode_json(self._request(STATS, b"", deadline).payload)
 
-    def health(self) -> dict:
+    def health(self, *, deadline=None) -> dict:
         """The peer's liveness document (status, node id, uptime, pid)."""
-        return protocol.decode_json(self._request(HEALTH, b"").payload)
+        return protocol.decode_json(
+            self._request(HEALTH, b"", deadline).payload
+        )
 
-    def cluster_topology(self) -> dict:
+    def cluster_topology(self, *, deadline=None) -> dict:
         """The peer's validated cluster topology document.
 
         A standalone server answers with a single-node topology
@@ -263,10 +399,12 @@ class ServiceClient:
         the full ring membership.
         """
         return protocol.decode_topology(
-            self._request(CLUSTER_TOPOLOGY, b"").payload
+            self._request(CLUSTER_TOPOLOGY, b"", deadline).payload
         )
 
-    def cluster_control(self, action: str, node: str | None = None) -> dict:
+    def cluster_control(
+        self, action: str, node: str | None = None, *, deadline=None
+    ) -> dict:
         """Send a supervisor control verb (``drain``/``restart``/``status``).
 
         Only the cluster supervisor's control endpoint serves these;
@@ -274,7 +412,7 @@ class ServiceClient:
         """
         payload = protocol.encode_control(action, node)
         return protocol.decode_json(
-            self._request(CLUSTER_CONTROL, payload).payload
+            self._request(CLUSTER_CONTROL, payload, deadline).payload
         )
 
     # -- lifecycle -----------------------------------------------------

@@ -99,6 +99,12 @@ class ServiceMetrics:
         self.protocol_errors = 0
         self.batches = 0
         self.batched_requests = 0
+        #: admission-gate sheds (request never queued).
+        self.shed_requests = 0
+        #: requests rejected at admission because they arrived expired.
+        self.deadline_rejected = 0
+        #: queued requests discarded because their budget lapsed waiting.
+        self.deadline_expired = 0
         #: per request-op counters: {"compress": {"requests": n, "errors": n}}
         self.ops: dict[str, dict[str, int]] = defaultdict(
             lambda: {"requests": 0, "errors": 0}
@@ -150,6 +156,18 @@ class ServiceMetrics:
         with self._lock:
             self.protocol_errors += 1
 
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed_requests += 1
+
+    def record_deadline_rejected(self) -> None:
+        with self._lock:
+            self.deadline_rejected += 1
+
+    def record_deadline_expired(self) -> None:
+        with self._lock:
+            self.deadline_expired += 1
+
     # -- reading -------------------------------------------------------
     def snapshot(self) -> dict:
         """JSON-ready view of every counter and latency histogram.
@@ -174,6 +192,11 @@ class ServiceMetrics:
                         if self.batches
                         else 0.0
                     ),
+                },
+                "resilience": {
+                    "shed_requests": self.shed_requests,
+                    "deadline_rejected": self.deadline_rejected,
+                    "deadline_expired": self.deadline_expired,
                 },
                 "ops": {
                     op: {**counts, "latency": self._latency[op].snapshot()}

@@ -48,8 +48,10 @@ import numpy as np
 from repro.encodings.varint import encode_uvarint
 from repro.errors import (
     CorruptStreamError,
+    DeadlineExceededError,
     ProtocolError,
     SelectionError,
+    ServerOverloadedError,
     ServiceError,
     UnsupportedDtypeError,
 )
@@ -69,6 +71,8 @@ __all__ = [
     "CLUSTER_CONTROL",
     "ERROR",
     "RESPONSE_BIT",
+    "FLAG_BIT",
+    "FLAG_DEADLINE",
     "REQUEST_TYPES",
     "NODE_STATES",
     "CONTROL_ACTIONS",
@@ -79,6 +83,8 @@ __all__ = [
     "ERR_UNKNOWN_CODEC",
     "ERR_TOO_LARGE",
     "ERR_INTERNAL",
+    "ERR_DEADLINE",
+    "ERR_OVERLOADED",
     "Frame",
     "FrameParser",
     "encode_frame",
@@ -98,6 +104,7 @@ __all__ = [
     "decode_control",
     "encode_error",
     "decode_error",
+    "encode_overload_error",
     "error_code_for",
     "raise_for_error",
 ]
@@ -131,6 +138,16 @@ HEALTH = 0x07
 #: nodes do not speak it, only the supervisor's control endpoint does.
 CLUSTER_CONTROL = 0x08
 RESPONSE_BIT = 0x80
+#: Flagged *request* header: a request type with this bit set carries a
+#: flags uvarint (and flag-dependent fields) between the request id and
+#: the payload length.  Responses never carry flags, and :data:`ERROR`
+#: (0xFF) is unambiguous because its high bit is set.  Plain requests
+#: stay byte-identical to protocol version 1, so a client that never
+#: sets a flag interoperates with old servers unchanged.
+FLAG_BIT = 0x40
+#: Flag: the header carries a deadline budget (whole ms, uvarint).
+FLAG_DEADLINE = 0x01
+_KNOWN_FLAGS = FLAG_DEADLINE
 #: Typed failure response (any request may answer with it).
 ERROR = 0xFF
 
@@ -153,6 +170,12 @@ ERR_UNSUPPORTED_DTYPE = 4
 ERR_UNKNOWN_CODEC = 5
 ERR_TOO_LARGE = 6
 ERR_INTERNAL = 7
+#: The request's deadline budget expired before the server ran it.
+ERR_DEADLINE = 8
+#: The admission gate shed the request; message is a JSON object with a
+#: ``retry_after_ms`` hint (old clients degrade to a plain ServiceError
+#: whose message happens to be that JSON).
+ERR_OVERLOADED = 9
 
 _ERROR_EXCEPTIONS = {
     ERR_PROTOCOL: ProtocolError,
@@ -162,6 +185,8 @@ _ERROR_EXCEPTIONS = {
     ERR_UNKNOWN_CODEC: ServiceError,
     ERR_TOO_LARGE: ProtocolError,
     ERR_INTERNAL: ServiceError,
+    ERR_DEADLINE: DeadlineExceededError,
+    ERR_OVERLOADED: ServerOverloadedError,
 }
 
 _DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
@@ -179,27 +204,58 @@ def response_type(request_type: int) -> int:
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded protocol frame."""
+    """One decoded protocol frame.
+
+    ``frame_type`` is always the *base* type — the parser strips
+    :data:`FLAG_BIT` after decoding the flagged fields — so dispatch
+    code never has to mask.  ``deadline_ms`` is the remaining deadline
+    budget the request arrived with, or ``None`` for unflagged frames.
+    """
 
     frame_type: int
     request_id: int
     payload: bytes
+    deadline_ms: int | None = None
 
     @property
     def is_error(self) -> bool:
         return self.frame_type == ERROR
 
 
-def encode_frame(frame_type: int, request_id: int, payload: bytes) -> bytes:
-    """Serialize one frame (header, payload, payload CRC-32)."""
+def encode_frame(
+    frame_type: int,
+    request_id: int,
+    payload: bytes,
+    deadline_ms: int | None = None,
+) -> bytes:
+    """Serialize one frame (header, payload, payload CRC-32).
+
+    A ``deadline_ms`` budget may only ride on plain request types; it
+    sets :data:`FLAG_BIT` on the type byte and inserts the flags and
+    deadline uvarints after the request id.  Without it the emitted
+    bytes are identical to protocol version 1.
+    """
     if not 0 <= frame_type <= 0xFF:
         raise ValueError(f"frame type {frame_type} out of range")
     payload = bytes(payload)
+    head = [MAGIC]
+    if deadline_ms is None:
+        head.append(bytes([frame_type]))
+        head.append(encode_uvarint(request_id))
+    else:
+        if frame_type & (RESPONSE_BIT | FLAG_BIT):
+            raise ValueError(
+                f"deadline flag needs a plain request type, got {frame_type:#x}"
+            )
+        if deadline_ms < 0:
+            raise ValueError(f"deadline_ms {deadline_ms} is negative")
+        head.append(bytes([frame_type | FLAG_BIT]))
+        head.append(encode_uvarint(request_id))
+        head.append(encode_uvarint(FLAG_DEADLINE))
+        head.append(encode_uvarint(deadline_ms))
     return b"".join(
-        [
-            MAGIC,
-            bytes([frame_type]),
-            encode_uvarint(request_id),
+        head
+        + [
             encode_uvarint(len(payload)),
             payload,
             (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "little"),
@@ -265,6 +321,30 @@ class FrameParser:
         if head is None:
             return None, 0
         request_id, pos = head
+        deadline_ms: int | None = None
+        # Flags only exist on *known* request types: an unknown type
+        # with the 0x40 bit (e.g. a newer protocol's frame) must keep
+        # the legacy layout so it still parses and earns the typed
+        # "unknown request type" answer instead of a desynced stream.
+        if (
+            frame_type & FLAG_BIT
+            and not frame_type & RESPONSE_BIT
+            and frame_type & ~FLAG_BIT in REQUEST_TYPES
+        ):
+            frame_type &= ~FLAG_BIT
+            head = _take_uvarint(buf, pos, "header flags")
+            if head is None:
+                return None, 0
+            flags, pos = head
+            if flags & ~_KNOWN_FLAGS:
+                raise ProtocolError(
+                    f"unknown header flag bits {flags & ~_KNOWN_FLAGS:#x}"
+                )
+            if flags & FLAG_DEADLINE:
+                head = _take_uvarint(buf, pos, "deadline budget")
+                if head is None:
+                    return None, 0
+                deadline_ms, pos = head
         head = _take_uvarint(buf, pos, "payload length")
         if head is None:
             return None, 0
@@ -285,7 +365,7 @@ class FrameParser:
                 f"frame payload checksum mismatch: header says {crc:#010x}, "
                 f"payload hashes to {actual:#010x}"
             )
-        return Frame(frame_type, request_id, payload), end
+        return Frame(frame_type, request_id, payload, deadline_ms), end
 
 
 # ----------------------------------------------------------------------
@@ -547,8 +627,45 @@ def decode_error(payload: bytes) -> tuple[int, str]:
     return payload[0], payload[1:].decode(errors="replace")
 
 
+def encode_overload_error(message: str, retry_after_ms: int) -> bytes:
+    """Build an ``ERR_OVERLOADED`` payload with a retry-after hint.
+
+    The hint rides inside the message as JSON rather than extending the
+    error payload format, so pre-deadline clients still render it as an
+    ordinary (if ugly) error string.
+    """
+    if retry_after_ms < 0:
+        raise ValueError(f"retry_after_ms {retry_after_ms} is negative")
+    body = json.dumps(
+        {"message": message, "retry_after_ms": int(retry_after_ms)},
+        sort_keys=True,
+    )
+    return encode_error(ERR_OVERLOADED, body)
+
+
+def _parse_overload_message(message: str) -> tuple[str, int | None]:
+    """Extract (text, retry-after-hint) from an overload error message."""
+    try:
+        body = json.loads(message)
+    except (ValueError, TypeError):
+        return message, None
+    if not isinstance(body, dict):
+        return message, None
+    text = body.get("message")
+    hint = body.get("retry_after_ms")
+    if not isinstance(text, str):
+        text = message
+    if not isinstance(hint, int) or isinstance(hint, bool) or hint < 0:
+        hint = None
+    return text, hint
+
+
 def error_code_for(exc: BaseException) -> int:
     """Map a server-side exception to the wire error code."""
+    if isinstance(exc, DeadlineExceededError):
+        return ERR_DEADLINE
+    if isinstance(exc, ServerOverloadedError):
+        return ERR_OVERLOADED
     if isinstance(exc, ProtocolError):
         return ERR_PROTOCOL
     if isinstance(exc, CorruptStreamError):
@@ -569,5 +686,10 @@ def raise_for_error(frame: Frame) -> None:
     newer server never crashes an older client with a bare ``KeyError``.
     """
     code, message = decode_error(frame.payload)
+    if code == ERR_OVERLOADED:
+        text, retry_after_ms = _parse_overload_message(message)
+        raise ServerOverloadedError(
+            f"server error {code}: {text}", retry_after_ms=retry_after_ms
+        )
     exc_type = _ERROR_EXCEPTIONS.get(code, ServiceError)
     raise exc_type(f"server error {code}: {message}")

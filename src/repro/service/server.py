@@ -51,6 +51,7 @@ from repro.service.protocol import (
     COMPRESS,
     DECOMPRESS,
     DEFAULT_MAX_PAYLOAD,
+    ERR_DEADLINE,
     ERR_INTERNAL,
     ERR_PROTOCOL,
     ERROR,
@@ -63,6 +64,7 @@ from repro.service.protocol import (
     FrameParser,
     encode_error,
     encode_frame,
+    encode_overload_error,
     response_type,
     validate_topology,
 )
@@ -75,6 +77,9 @@ __all__ = [
 ]
 
 _READ_SIZE = 1 << 16
+#: Request types that go through batching, the admission gate, and
+#: deadline enforcement; everything else is answered inline.
+_HEAVY_TYPES = (COMPRESS, DECOMPRESS, SELECT_EXPLAIN)
 _OP_NAMES = {
     PING: "ping",
     COMPRESS: "compress",
@@ -189,6 +194,79 @@ def _execute_explain(payload: bytes) -> tuple:
 
 
 # ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class _AdmissionGate:
+    """Server-wide bound on admitted-but-unfinished heavy work.
+
+    Beyond the per-connection inflight cap, this bounds what *all*
+    connections together may have queued: a request count and a payload
+    byte total.  Admission happens when a heavy frame arrives, release
+    when its slice finishes (or it is discarded), so the gate tracks
+    exactly the work the server is holding in memory.  A request that
+    does not fit is shed — never queued, never executed.
+
+    An empty gate always admits, whatever the request's size: the
+    per-frame ``max_payload`` bound already caps a single request, and
+    shedding a request that could never fit would livelock its retries.
+    """
+
+    def __init__(self, max_requests: int, max_bytes: int) -> None:
+        if max_requests < 1:
+            raise ValueError("max_queued_requests must be positive")
+        if max_bytes < 1:
+            raise ValueError("max_queued_bytes must be positive")
+        self.max_requests = int(max_requests)
+        self.max_bytes = int(max_bytes)
+        self._requests = 0
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    def try_admit(self, nbytes: int) -> bool:
+        with self._lock:
+            if self._requests == 0:
+                self._requests, self._bytes = 1, nbytes
+                return True
+            if (
+                self._requests + 1 > self.max_requests
+                or self._bytes + nbytes > self.max_bytes
+            ):
+                return False
+            self._requests += 1
+            self._bytes += nbytes
+            return True
+
+    def release(self, nbytes: int) -> None:
+        with self._lock:
+            self._requests = max(0, self._requests - 1)
+            self._bytes = max(0, self._bytes - nbytes)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "queued_requests": self._requests,
+                "queued_bytes": self._bytes,
+            }
+
+
+class _Pending:
+    """One parsed request frame plus its server-side deadline stamp."""
+
+    __slots__ = ("frame", "expiry", "rejection", "admitted", "released")
+
+    def __init__(self, frame: Frame, expiry: float | None) -> None:
+        self.frame = frame
+        #: monotonic instant the request's budget runs out (None = no
+        #: deadline was propagated).
+        self.expiry = expiry
+        #: pre-encoded ERROR payload when the request was rejected at
+        #: admission (deadline / shed) or discarded while queued.
+        self.rejection: bytes | None = None
+        self.admitted = False
+        self.released = False
+
+
+# ----------------------------------------------------------------------
 # The server
 # ----------------------------------------------------------------------
 class CompressionServer:
@@ -215,6 +293,13 @@ class CompressionServer:
     max_inflight_bytes:
         Per-connection bound on the summed payload bytes of one
         executing slice — the backpressure knob.
+    max_queued_requests, max_queued_bytes:
+        Server-wide admission gate over *all* connections' heavy
+        requests that are admitted but not yet finished.  A heavy frame
+        that does not fit is shed with a retryable ``ERR_OVERLOADED``
+        error instead of being queued.
+    shed_retry_after_ms:
+        Backoff hint carried by shed responses.
     metrics:
         A :class:`~repro.service.metrics.ServiceMetrics` to record
         into; one is created when omitted.
@@ -240,6 +325,9 @@ class CompressionServer:
         batch_window: float = 0.0,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
         max_inflight_bytes: int = 1 << 26,
+        max_queued_requests: int = 256,
+        max_queued_bytes: int = 1 << 28,
+        shed_retry_after_ms: int = 50,
         metrics: ServiceMetrics | None = None,
         node_id: str | None = None,
         topology: dict | None = None,
@@ -258,6 +346,10 @@ class CompressionServer:
         self.batch_window = float(batch_window)
         self.max_payload = int(max_payload)
         self.max_inflight_bytes = int(max_inflight_bytes)
+        if shed_retry_after_ms < 0:
+            raise ValueError("shed_retry_after_ms must be non-negative")
+        self.shed_retry_after_ms = int(shed_retry_after_ms)
+        self._admission = _AdmissionGate(max_queued_requests, max_queued_bytes)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._server: asyncio.base_events.Server | None = None
         self._tasks: set[asyncio.Task] = set()
@@ -372,15 +464,35 @@ class CompressionServer:
             except (ConnectionError, OSError):
                 pass
 
+    @staticmethod
+    def _stamp(frames: list[Frame]) -> list[_Pending]:
+        """Pin each frame's deadline budget to the monotonic clock.
+
+        Stamping happens the moment the frame is parsed, so time spent
+        waiting in the batch window or behind earlier slices counts
+        against the budget — exactly the queueing delay the deadline
+        is meant to bound.
+        """
+        now = time.monotonic()
+        return [
+            _Pending(
+                frame,
+                None
+                if frame.deadline_ms is None
+                else now + frame.deadline_ms / 1e3,
+            )
+            for frame in frames
+        ]
+
     async def _connection_loop(self, reader, writer, parser) -> None:
         while not self._drain.is_set():
             data = await self._read_or_drain(reader)
             if not data:
                 return
             try:
-                frames = parser.feed(data)
-                if frames and self.batch_window > 0:
-                    frames = await self._gather_batch(reader, parser, frames)
+                pending = self._stamp(parser.feed(data))
+                if pending and self.batch_window > 0:
+                    pending = await self._gather_batch(reader, parser, pending)
             except ProtocolError as exc:
                 # Broken framing cannot be re-synchronized: answer with
                 # a typed error, then drop the connection.
@@ -389,8 +501,8 @@ class CompressionServer:
                     writer, ERROR, 0, encode_error(ERR_PROTOCOL, str(exc))
                 )
                 return
-            if frames:
-                await self._process_frames(writer, frames)
+            if pending:
+                await self._process_frames(writer, pending)
 
     async def _read_or_drain(self, reader) -> bytes:
         """Read socket data, waking immediately when drain begins."""
@@ -410,12 +522,12 @@ class CompressionServer:
         return b""
 
     async def _gather_batch(
-        self, reader, parser, frames: list[Frame]
-    ) -> list[Frame]:
+        self, reader, parser, pending: list[_Pending]
+    ) -> list[_Pending]:
         """Wait ``batch_window`` for more pipelined frames (bounded)."""
-        inflight = sum(len(frame.payload) for frame in frames)
+        inflight = sum(len(item.frame.payload) for item in pending)
         while (
-            len(frames) < self.batch_max
+            len(pending) < self.batch_max
             and inflight < self.max_inflight_bytes
         ):
             try:
@@ -426,55 +538,126 @@ class CompressionServer:
                 break
             if not data:
                 break
-            more = parser.feed(data)  # ProtocolError handled by caller
-            frames.extend(more)
-            inflight += sum(len(frame.payload) for frame in more)
-        return frames
+            more = self._stamp(parser.feed(data))  # ProtocolError -> caller
+            pending.extend(more)
+            inflight += sum(len(item.frame.payload) for item in more)
+        return pending
+
+    # -- admission -----------------------------------------------------
+    def _admit(self, pending: list[_Pending]) -> None:
+        """Admission decisions for a batch of heavy frames, at arrival.
+
+        Two rejections happen *before* any queueing: a request whose
+        deadline budget is already spent gets ``ERR_DEADLINE`` (running
+        it would only produce an answer nobody is waiting for), and a
+        request the admission gate cannot hold gets a retryable
+        ``ERR_OVERLOADED`` with a backoff hint.  Responses still flush
+        in request order when the slice is written out.
+        """
+        now = time.monotonic()
+        for item in pending:
+            frame = item.frame
+            if frame.frame_type not in _HEAVY_TYPES:
+                continue
+            op = _OP_NAMES[frame.frame_type]
+            if item.expiry is not None and item.expiry <= now:
+                self.metrics.record_deadline_rejected()
+                self.metrics.record_request(op, 0.0, ok=False)
+                item.rejection = encode_error(
+                    ERR_DEADLINE,
+                    f"deadline budget ({frame.deadline_ms} ms) already "
+                    "expired at admission",
+                )
+            elif not self._admission.try_admit(len(frame.payload)):
+                self.metrics.record_shed()
+                self.metrics.record_request(op, 0.0, ok=False)
+                item.rejection = encode_overload_error(
+                    "admission gate full "
+                    f"({self._admission.max_requests} requests / "
+                    f"{self._admission.max_bytes} bytes queued)",
+                    self.shed_retry_after_ms,
+                )
+            else:
+                item.admitted = True
+
+    def _release(self, item: _Pending) -> None:
+        if item.admitted and not item.released:
+            item.released = True
+            self._admission.release(len(item.frame.payload))
 
     # -- batch execution -----------------------------------------------
-    async def _process_frames(self, writer, frames: list[Frame]) -> None:
+    async def _process_frames(self, writer, pending: list[_Pending]) -> None:
         """Execute frames in bounded slices, responses in frame order."""
+        self._admit(pending)
         start = 0
-        while start < len(frames):
-            end = start + 1
-            total = len(frames[start].payload)
-            while (
-                end < len(frames)
-                and end - start < self.batch_max
-                and total + len(frames[end].payload) <= self.max_inflight_bytes
-            ):
-                total += len(frames[end].payload)
-                end += 1
-            await self._execute_slice(writer, frames[start:end])
-            start = end
+        try:
+            while start < len(pending):
+                end = start + 1
+                total = len(pending[start].frame.payload)
+                while (
+                    end < len(pending)
+                    and end - start < self.batch_max
+                    and total + len(pending[end].frame.payload)
+                    <= self.max_inflight_bytes
+                ):
+                    total += len(pending[end].frame.payload)
+                    end += 1
+                await self._execute_slice(writer, pending[start:end])
+                start = end
+        finally:
+            # A dropped connection mid-pipeline must not strand gate
+            # capacity for the slices that never ran.
+            for item in pending[start:]:
+                self._release(item)
 
-    async def _execute_slice(self, writer, frames: list[Frame]) -> None:
-        heavy = [
-            (index, frame)
-            for index, frame in enumerate(frames)
-            if frame.frame_type in (COMPRESS, DECOMPRESS, SELECT_EXPLAIN)
-        ]
-        results: dict[int, tuple] = {}
-        if heavy:
-            items = [
-                (frame.frame_type, frame.payload) for _, frame in heavy
-            ]
-            # One fan-out for the whole slice.  Run it off the event
-            # loop so other connections stay responsive while this one
-            # crunches; with jobs > 1 the fan-out crosses process
-            # boundaries and sidesteps the GIL entirely.
-            loop = asyncio.get_running_loop()
-            outcomes = await loop.run_in_executor(
-                None, partial(self._run_batch, items)
-            )
-            self.metrics.record_batch(len(items))
-            for (index, _), outcome in zip(heavy, outcomes):
-                results[index] = outcome
-        for index, frame in enumerate(frames):
-            if index in results:
-                await self._respond(writer, frame, results[index])
-            else:
-                await self._respond_light(writer, frame)
+    async def _execute_slice(self, writer, pending: list[_Pending]) -> None:
+        try:
+            now = time.monotonic()
+            heavy = []
+            for index, item in enumerate(pending):
+                if not item.admitted or item.rejection is not None:
+                    continue
+                if item.expiry is not None and item.expiry <= now:
+                    # The budget lapsed while the request waited behind
+                    # earlier slices: skip the work, answer the error.
+                    op = _OP_NAMES[item.frame.frame_type]
+                    self.metrics.record_deadline_expired()
+                    self.metrics.record_request(op, 0.0, ok=False)
+                    item.rejection = encode_error(
+                        ERR_DEADLINE,
+                        f"deadline budget ({item.frame.deadline_ms} ms) "
+                        "expired while queued",
+                    )
+                    continue
+                heavy.append((index, item.frame))
+            results: dict[int, tuple] = {}
+            if heavy:
+                items = [
+                    (frame.frame_type, frame.payload) for _, frame in heavy
+                ]
+                # One fan-out for the whole slice.  Run it off the event
+                # loop so other connections stay responsive while this
+                # one crunches; with jobs > 1 the fan-out crosses process
+                # boundaries and sidesteps the GIL entirely.
+                loop = asyncio.get_running_loop()
+                outcomes = await loop.run_in_executor(
+                    None, partial(self._run_batch, items)
+                )
+                self.metrics.record_batch(len(items))
+                for (index, _), outcome in zip(heavy, outcomes):
+                    results[index] = outcome
+            for index, item in enumerate(pending):
+                if item.rejection is not None:
+                    await self._send(
+                        writer, ERROR, item.frame.request_id, item.rejection
+                    )
+                elif index in results:
+                    await self._respond(writer, item.frame, results[index])
+                else:
+                    await self._respond_light(writer, item.frame)
+        finally:
+            for item in pending:
+                self._release(item)
 
     async def _respond(self, writer, frame: Frame, outcome: tuple) -> None:
         meta = outcome[3]

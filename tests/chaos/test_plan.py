@@ -1,0 +1,71 @@
+"""Fault plans: determinism, JSON round-trip, validation."""
+
+import pytest
+
+from repro.chaos import FAULT_KINDS, FaultPlan, FaultSpec
+
+
+def test_decisions_are_deterministic_per_connection():
+    plan = FaultPlan.default(seed=7)
+    for index in range(50):
+        first = [spec.kind for spec in plan.decide(index)]
+        again = [spec.kind for spec in plan.decide(index)]
+        assert first == again
+
+
+def test_seed_changes_the_decisions():
+    a = FaultPlan.default(seed=1)
+    b = FaultPlan.default(seed=2)
+    decisions_a = [tuple(s.kind for s in a.decide(i)) for i in range(200)]
+    decisions_b = [tuple(s.kind for s in b.decide(i)) for i in range(200)]
+    assert decisions_a != decisions_b
+
+
+def test_probability_edges():
+    always = FaultPlan((FaultSpec("latency", probability=1.0),))
+    never = FaultPlan((FaultSpec("latency", probability=0.0),))
+    for index in range(20):
+        assert [spec.kind for spec in always.decide(index)] == ["latency"]
+        assert never.decide(index) == []
+
+
+def test_default_plan_rates_roughly_match_probabilities():
+    plan = FaultPlan((FaultSpec("disconnect", probability=0.25),), seed=3)
+    hits = sum(bool(plan.decide(index)) for index in range(2000))
+    assert 0.15 < hits / 2000 < 0.35
+
+
+def test_json_round_trip():
+    plan = FaultPlan.default(seed=9)
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone == plan
+    assert clone.to_json() == plan.to_json()
+
+
+def test_from_dict_rejects_garbage():
+    with pytest.raises(ValueError):
+        FaultPlan.from_json("not json")
+    with pytest.raises(ValueError):
+        FaultPlan.from_dict({"specs": "nope"})
+    with pytest.raises(ValueError):
+        FaultPlan.from_dict({"seed": "seven"})
+    with pytest.raises(ValueError):
+        FaultPlan.from_dict({"unknown": 1})
+    with pytest.raises(ValueError):
+        FaultSpec.from_dict({"kind": "latency", "bogus": 1})
+    with pytest.raises(ValueError):
+        FaultSpec.from_dict({"probability": 0.5})
+
+
+def test_spec_validation():
+    assert set(FAULT_KINDS) == {
+        "connect_refuse", "latency", "disconnect", "corrupt", "stall"
+    }
+    with pytest.raises(ValueError):
+        FaultSpec("unplug-the-rack")
+    with pytest.raises(ValueError):
+        FaultSpec("latency", probability=1.5)
+    with pytest.raises(ValueError):
+        FaultSpec("latency", seconds=-1.0)
+    with pytest.raises(ValueError):
+        FaultSpec("disconnect", after_bytes=-1)

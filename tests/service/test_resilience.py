@@ -1,0 +1,197 @@
+"""Unit coverage for the resilience primitives.
+
+These are the building blocks every client composes around its
+transport; their contracts (deadline monotonicity, deterministic
+jitter, retry-fraction bounds, breaker state machine) must hold
+independently of any socket.
+"""
+
+import pickle
+import time
+
+import pytest
+
+from repro.service.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    Deadline,
+    RetryBudget,
+    RetryPolicy,
+)
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+def test_deadline_counts_down():
+    deadline = Deadline.after(5.0)
+    assert 4.0 < deadline.remaining() <= 5.0
+    assert not deadline.expired
+    ms = deadline.remaining_ms()
+    assert ms is not None and 4000 < ms <= 5000
+
+
+def test_deadline_none_is_unbounded():
+    deadline = Deadline.after(None)
+    assert deadline.remaining() == float("inf")
+    assert not deadline.expired
+    assert deadline.remaining_ms() is None
+    assert deadline.clamp(3.0) == 3.0
+
+
+def test_deadline_expires():
+    deadline = Deadline.after(0.0)
+    time.sleep(0.001)
+    assert deadline.expired
+    assert deadline.remaining() < 0
+    assert deadline.remaining_ms() == 0  # floored: never negative on the wire
+    assert deadline.clamp(1.0) == 0.0
+
+
+def test_deadline_clamp_shortens_only():
+    deadline = Deadline.after(0.05)
+    assert deadline.clamp(10.0) <= 0.05
+    assert deadline.clamp(0.01) <= 0.01
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+def test_retry_policy_delays_are_deterministic():
+    policy = RetryPolicy(seed=42)
+    again = RetryPolicy(seed=42)
+    assert [policy.delay(i) for i in range(5)] == [
+        again.delay(i) for i in range(5)
+    ]
+
+
+def test_retry_policy_seeds_desynchronize():
+    a = RetryPolicy(seed=1)
+    b = RetryPolicy(seed=2)
+    assert [a.delay(i) for i in range(4)] != [b.delay(i) for i in range(4)]
+
+
+def test_retry_policy_jitter_only_shortens():
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=1.0,
+                         jitter=1.0, seed=3)
+    for attempt in range(8):
+        raw = min(1.0, 0.1 * 2.0**attempt)
+        assert 0.0 <= policy.delay(attempt) <= raw
+
+
+def test_retry_policy_zero_jitter_is_pure_exponential():
+    policy = RetryPolicy(base_delay=0.05, multiplier=2.0, max_delay=10.0,
+                         jitter=0.0)
+    assert policy.delay(0) == pytest.approx(0.05)
+    assert policy.delay(1) == pytest.approx(0.10)
+    assert policy.delay(2) == pytest.approx(0.20)
+
+
+def test_retry_policy_is_picklable():
+    policy = RetryPolicy(max_attempts=4, base_delay=0.01, seed=9)
+    clone = pickle.loads(pickle.dumps(policy))
+    assert clone == policy
+    assert clone.delay(3) == policy.delay(3)
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy().delay(-1)
+
+
+# ----------------------------------------------------------------------
+# RetryBudget
+# ----------------------------------------------------------------------
+def test_retry_budget_bounds_retry_fraction():
+    budget = RetryBudget(capacity=2.0, deposit_per_call=0.1)
+    assert budget.try_spend()
+    assert budget.try_spend()
+    # Bucket is now below one token: retries are refused...
+    assert not budget.try_spend()
+    # ...until enough first attempts have refilled it (12 deposits of
+    # 0.1 clear one token even with float accumulation error).
+    for _ in range(12):
+        budget.record_call()
+    assert budget.try_spend()
+
+
+def test_retry_budget_deposit_caps_at_capacity():
+    budget = RetryBudget(capacity=1.5, deposit_per_call=10.0)
+    budget.record_call()
+    assert budget.tokens == 1.5
+
+
+def test_retry_budget_validation():
+    with pytest.raises(ValueError):
+        RetryBudget(capacity=0.5)
+    with pytest.raises(ValueError):
+        RetryBudget(deposit_per_call=0.0)
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+def test_breaker_trips_after_threshold():
+    breaker = CircuitBreaker(failure_threshold=3, reset_timeout=60.0)
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == BREAKER_CLOSED
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == BREAKER_OPEN
+    assert not breaker.allow()
+    assert breaker.snapshot() == {
+        "state": BREAKER_OPEN,
+        "consecutive_failures": 3,
+        "trips": 1,
+    }
+
+
+def test_breaker_success_resets_failure_run():
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == BREAKER_CLOSED
+
+
+def test_breaker_half_open_admits_single_probe():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=0.01)
+    breaker.record_failure()
+    assert breaker.state == BREAKER_OPEN
+    time.sleep(0.02)
+    assert breaker.allow()  # the timer expired: one probe goes through
+    assert breaker.state == BREAKER_HALF_OPEN
+    assert not breaker.allow()  # second caller waits for the probe
+    breaker.record_success()
+    assert breaker.state == BREAKER_CLOSED
+    assert breaker.allow()
+
+
+def test_breaker_failed_probe_rearms_the_timer():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0)
+    breaker.record_failure()
+    assert breaker.allow(force_probe=True)  # last-resort pass bypasses timer
+    assert breaker.state == BREAKER_HALF_OPEN
+    breaker.record_failure()
+    assert breaker.state == BREAKER_OPEN
+    assert not breaker.allow()
+    # Re-opening from half-open is not a fresh trip.
+    assert breaker.snapshot()["trips"] == 1
+
+
+def test_breaker_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(reset_timeout=0.0)
