@@ -6,7 +6,16 @@ Subcommands:
   streaming per-cell status, with ``--jobs N`` parallelism and the
   per-cell incremental cache.
 * ``fcbench report`` — render a paper table (4/5/6) or an arbitrary
-  metric matrix from suite results.
+  metric matrix from suite results; with ``--db`` render per-domain
+  tables plus Friedman / Nemenyi / CD-diagram statistics from an
+  experiment database (``--json`` and ``--artifacts`` for the
+  machine-readable forms).
+* ``fcbench sweep``  — the resumable experiment database:
+  ``init`` expands a codec x dataset x configuration grid into pending
+  cells (idempotently), ``run --workers N`` drives them to completion
+  with crash-safe claim/heartbeat semantics, ``status`` shows progress,
+  ``import-cache`` migrates the per-cell JSON cache into the database,
+  and ``reset`` re-queues failures.  See ``docs/experiments.md``.
 * ``fcbench cache``  — inspect the cache (``inspect``, the default) or
   delete entries (``clear``, with ``--stale`` to drop only entries
   whose cache version or method fingerprint is out of date, plus
@@ -174,6 +183,13 @@ _REPORT_PRESETS = ("table4", "table5", "table6")
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.db:
+        return _cmd_report_db(args)
+    if args.json is not None or args.artifacts:
+        raise SystemExit(
+            "error: --json/--artifacts render the experiment database; "
+            "pass --db PATH"
+        )
     methods = _validate("methods", _csv(args.methods), compressor_names())
     datasets = _validate("datasets", _csv(args.datasets), default_datasets())
     run = run_suite_detailed(
@@ -195,6 +211,38 @@ def _cmd_report(args: argparse.Namespace) -> int:
         "table6": experiments.table6_walltime,
     }[args.what]
     print(driver(results))
+    return 0
+
+
+def _cmd_report_db(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.expdb import ExperimentStore, render_report, sweep_report
+    from repro.expdb.report import METRICS, write_artifacts
+
+    if not Path(args.db).exists():
+        raise SystemExit(f"error: no experiment database at {args.db!r}")
+    metric = args.metric or "ratio"
+    if metric not in METRICS:
+        raise SystemExit(
+            f"error: unknown sweep metric {metric!r}\n"
+            f"sweep metrics: {', '.join(METRICS)}"
+        )
+    with ExperimentStore(args.db) as store:
+        report = sweep_report(store, metric=metric, alpha=args.alpha)
+    if args.artifacts:
+        for path in write_artifacts(report, args.artifacts):
+            print(f"wrote {path}")
+    if args.json is not None:
+        payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            print(payload, end="")
+        else:
+            Path(args.json).write_text(payload)
+            print(f"wrote {args.json}")
+    if args.json is None:
+        print(render_report(report), end="")
     return 0
 
 
@@ -325,6 +373,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         service=args.service,
         resilience=args.resilience,
         seed=args.seed,
+        sweep_db=args.sweep_db,
         on_cell=on_cell,
     )
     root = Path(args.output).parent if args.output else bench.repo_root()
@@ -337,6 +386,234 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     previous = bench.latest_snapshot(root, exclude=path)
     if previous is not None:
         print(bench.diff_reports(json.loads(previous.read_text()), report))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# fcbench sweep (the experiment database)
+# ----------------------------------------------------------------------
+def _sweep_grid(args: argparse.Namespace):
+    from repro.expdb import GridSpec
+
+    grid = GridSpec()
+    overrides = {}
+    if args.codecs:
+        overrides["codecs"] = tuple(_csv(args.codecs))
+    if args.datasets:
+        overrides["datasets"] = tuple(_csv(args.datasets))
+    if args.chunk_elements:
+        overrides["chunk_elements"] = tuple(
+            int(v) for v in _csv(args.chunk_elements)
+        )
+    if args.jobs:
+        overrides["jobs"] = tuple(int(v) for v in _csv(args.jobs))
+    if args.policies:
+        overrides["policies"] = tuple(_csv(args.policies))
+    if args.seeds:
+        overrides["seeds"] = tuple(int(v) for v in _csv(args.seeds))
+    if args.target_elements:
+        overrides["target_elements"] = args.target_elements
+    import dataclasses
+
+    return dataclasses.replace(grid, **overrides)
+
+
+def _cmd_sweep_init(args: argparse.Namespace) -> int:
+    from repro.data.catalog import ExternalCorpus
+    from repro.errors import DatasetError, ExperimentError
+    from repro.expdb import ExperimentStore, init_grid
+
+    corpus = None
+    if args.corpus:
+        try:
+            corpus = ExternalCorpus.from_manifest(args.corpus)
+        except DatasetError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+    grid = _sweep_grid(args)
+    try:
+        with ExperimentStore(args.db) as store:
+            summary = init_grid(
+                store, grid, corpus, manifest_path=args.corpus
+            )
+            counts = store.counts()
+    except ExperimentError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    line = (
+        f"grid: {summary.added} added, {counts['total']} total cells "
+        f"({counts['pending']} pending, {counts['done']} done, "
+        f"{counts['skipped']} skipped)"
+    )
+    if summary.offline_datasets:
+        line += f"  offline: {', '.join(summary.offline_datasets)}"
+    if summary.revived:
+        line += f"  revived: {summary.revived}"
+    print(line)
+    return 0
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.expdb import ExperimentStore, run_sweep
+    from repro.expdb.store import CellRow
+
+    if not Path(args.db).exists():
+        raise SystemExit(
+            f"error: no experiment database at {args.db!r} "
+            "(run `fcbench sweep init` first)"
+        )
+
+    def on_cell(cell: CellRow, status: str, fields: dict, error: str) -> None:
+        if args.quiet:
+            return
+        key = cell.key
+        detail = (
+            f"CR={fields['ratio']:.3f}"
+            if status == "done" and fields.get("ratio")
+            else error
+        )
+        print(
+            f"{key.dataset:<16} {key.method_label:<16} "
+            f"ce={key.chunk_elements:<6} {status:<8} {detail}",
+            flush=True,
+        )
+
+    def on_progress(counts: dict) -> None:
+        if args.quiet:
+            return
+        print(
+            f"\r{counts['done']} done / {counts['failed']} failed / "
+            f"{counts['pending']} pending / {counts['claimed']} claimed",
+            end="",
+            flush=True,
+        )
+
+    summary = run_sweep(
+        args.db,
+        workers=args.workers,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_cells=args.max_cells,
+        on_cell=on_cell,
+        on_progress=None if args.quiet or args.workers <= 1 else on_progress,
+    )
+    if not args.quiet and args.workers > 1:
+        print()
+    counts = summary["counts"]
+    print(
+        f"sweep: executed {summary['executed']} cells with "
+        f"{summary['workers']} worker(s); now {counts['done']} done / "
+        f"{counts['failed']} failed / {counts['skipped']} skipped / "
+        f"{counts['pending']} pending"
+    )
+    return 0 if counts["pending"] == 0 and counts["claimed"] == 0 else 1
+
+
+def _cmd_sweep_worker(args: argparse.Namespace) -> int:
+    """Internal verb: one worker process (spawned by ``sweep run``)."""
+    import json
+
+    from repro.expdb import worker_loop
+
+    summary = worker_loop(
+        args.db,
+        owner=args.owner,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_cells=args.max_cells,
+    )
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(
+            f"worker {summary['owner']}: {summary['executed']} executed "
+            f"({summary['done']} done, {summary['failed']} failed, "
+            f"{summary['skipped']} skipped)"
+        )
+    return 0
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.expdb import ExperimentStore
+
+    if not Path(args.db).exists():
+        raise SystemExit(f"error: no experiment database at {args.db!r}")
+    with ExperimentStore(args.db) as store:
+        counts = store.counts()
+        grid = store.get_meta("grid")
+        claimed = store.cells(status="claimed")
+        failed = store.cells(status="failed")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "counts": counts,
+                    "grid": grid,
+                    "claimed": [
+                        {"id": c.id, "owner": c.owner, **c.key.as_dict()}
+                        for c in claimed
+                    ],
+                    "failed": [
+                        {"id": c.id, "error": c.error, **c.key.as_dict()}
+                        for c in failed
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(
+        f"{counts['total']} cells: {counts['done']} done, "
+        f"{counts['failed']} failed, {counts['skipped']} skipped, "
+        f"{counts['pending']} pending, {counts['claimed']} claimed"
+    )
+    for cell in claimed:
+        print(
+            f"  claimed: {cell.key.dataset}/{cell.key.method_label} "
+            f"by {cell.owner}"
+        )
+    for cell in failed[:10]:
+        print(
+            f"  failed: {cell.key.dataset}/{cell.key.method_label}: "
+            f"{cell.error}"
+        )
+    if len(failed) > 10:
+        print(f"  ... and {len(failed) - 10} more failures")
+    return 0
+
+
+def _cmd_sweep_import_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.expdb import ExperimentStore, import_cache
+
+    root = Path(args.cache_root) if args.cache_root else None
+    with ExperimentStore(args.db) as store:
+        counts = import_cache(store, root)
+    print(
+        f"imported {counts['imported']} cells "
+        f"({counts['imported_done']} done, {counts['imported_failed']} "
+        f"failed); skipped {counts['skipped_existing']} existing, "
+        f"{counts['skipped_stale']} stale, {counts['malformed']} malformed"
+    )
+    return 0
+
+
+def _cmd_sweep_reset(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.expdb import ExperimentStore
+
+    if not Path(args.db).exists():
+        raise SystemExit(f"error: no experiment database at {args.db!r}")
+    statuses = tuple(_csv(args.statuses) or ("failed",))
+    with ExperimentStore(args.db) as store:
+        reset = store.reset_cells(statuses)
+    print(f"reset {reset} cell(s) ({', '.join(statuses)} -> pending)")
     return 0
 
 
@@ -1123,7 +1400,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument(
         "--metric",
-        help="render an arbitrary Measurement field as a matrix instead",
+        help="render an arbitrary Measurement field as a matrix instead "
+        "(with --db: ratio, encode_mbs, or decode_mbs)",
+    )
+    p_report.add_argument(
+        "--db",
+        help="report from an experiment database (fcbench sweep) instead "
+        "of re-running the suite: per-domain tables plus Friedman / "
+        "Nemenyi / CD-diagram statistics",
+    )
+    p_report.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="with --db: machine-readable report to PATH (default stdout)",
+    )
+    p_report.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        help="with --db: write summary.json / cd_diagram.txt / report.txt "
+        "under DIR",
+    )
+    p_report.add_argument(
+        "--alpha",
+        type=float,
+        default=0.05,
+        help="significance level for the statistics (default %(default)s)",
     )
     _add_matrix_args(p_report)
     p_report.set_defaults(func=_cmd_report)
@@ -1201,12 +1505,144 @@ def build_parser() -> argparse.ArgumentParser:
         "availability / shed / deadline-miss rates in the snapshot",
     )
     p_bench.add_argument(
+        "--sweep-db",
+        help="fold this experiment database's statistical summary "
+        "(counts, Friedman, Nemenyi CD, ranking) into the snapshot",
+    )
+    p_bench.add_argument(
         "--output", help="write the snapshot to this path instead"
     )
     p_bench.add_argument(
         "--quiet", action="store_true", help="no per-cell status lines"
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="resumable experiment sweeps over a shared sqlite database",
+    )
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def _sweep_db_arg(p):
+        p.add_argument(
+            "--db",
+            default="experiments.sqlite",
+            help="experiment database path (default %(default)s)",
+        )
+
+    s_init = sweep_sub.add_parser(
+        "init",
+        help="expand the grid into pending cells (idempotent)",
+    )
+    _sweep_db_arg(s_init)
+    s_init.add_argument(
+        "--codecs", help="comma-separated codec keyfield values"
+    )
+    s_init.add_argument(
+        "--datasets", help="comma-separated dataset keyfield values"
+    )
+    s_init.add_argument(
+        "--chunk-elements",
+        help="comma-separated chunk sizes (0 = legacy whole-array cell)",
+    )
+    s_init.add_argument("--jobs", help="comma-separated jobs keyfield values")
+    s_init.add_argument(
+        "--policies",
+        help="comma-separated selection policies for codec 'auto'",
+    )
+    s_init.add_argument("--seeds", help="comma-separated generator seeds")
+    s_init.add_argument(
+        "--target-elements",
+        type=int,
+        default=None,
+        help="elements per dataset cell",
+    )
+    s_init.add_argument(
+        "--corpus",
+        help="external-corpus manifest JSON; datasets whose file is "
+        "absent become 'skipped' cells instead of failing",
+    )
+    s_init.set_defaults(func=_cmd_sweep_init)
+
+    s_run = sweep_sub.add_parser(
+        "run", help="execute pending cells until the grid is quiescent"
+    )
+    _sweep_db_arg(s_run)
+    s_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (default %(default)s); >1 spawns real OS "
+        "processes so a killed worker cannot take the sweep down",
+    )
+    s_run.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="seconds between claim heartbeats (default %(default)s)",
+    )
+    s_run.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=10.0,
+        help="seconds of heartbeat silence before a claim is reaped "
+        "(default %(default)s)",
+    )
+    s_run.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="stop each worker after this many cells",
+    )
+    s_run.add_argument(
+        "--quiet", action="store_true", help="summary line only"
+    )
+    s_run.set_defaults(func=_cmd_sweep_run)
+
+    s_worker = sweep_sub.add_parser(
+        "worker",
+        help="single worker loop (internal; spawned by `sweep run`)",
+    )
+    _sweep_db_arg(s_worker)
+    s_worker.add_argument("--owner", default=None, help="owner id override")
+    s_worker.add_argument("--heartbeat-interval", type=float, default=1.0)
+    s_worker.add_argument("--heartbeat-timeout", type=float, default=10.0)
+    s_worker.add_argument("--max-cells", type=int, default=None)
+    s_worker.add_argument(
+        "--json",
+        action="store_true",
+        help="print the final summary as one JSON line",
+    )
+    s_worker.set_defaults(func=_cmd_sweep_worker)
+
+    s_status = sweep_sub.add_parser(
+        "status", help="cell counts, live claims, and failures"
+    )
+    _sweep_db_arg(s_status)
+    s_status.add_argument("--json", action="store_true")
+    s_status.set_defaults(func=_cmd_sweep_status)
+
+    s_import = sweep_sub.add_parser(
+        "import-cache",
+        help="migrate the per-cell JSON cache into the database",
+    )
+    _sweep_db_arg(s_import)
+    s_import.add_argument(
+        "--cache-root",
+        help="cache root to import (default: the active FCBENCH_CACHE_DIR)",
+    )
+    s_import.set_defaults(func=_cmd_sweep_import_cache)
+
+    s_reset = sweep_sub.add_parser(
+        "reset", help="flip terminal cells back to pending"
+    )
+    _sweep_db_arg(s_reset)
+    s_reset.add_argument(
+        "--statuses",
+        default="failed",
+        help="comma-separated statuses to reset (default %(default)s)",
+    )
+    s_reset.set_defaults(func=_cmd_sweep_reset)
 
     p_comp = sub.add_parser(
         "compress",

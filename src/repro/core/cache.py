@@ -38,6 +38,7 @@ __all__ = [
     "CacheScan",
     "cache_dir",
     "clear_cache",
+    "iter_cell_payloads",
     "runner_fingerprint",
     "scan_cache",
     "read_last_run",
@@ -249,6 +250,30 @@ def scan_cache(root: Path | None = None) -> CacheScan:
             )
         )
     return scan
+
+
+def iter_cell_payloads(root: Path | None = None, fresh_only: bool = True):
+    """Yield ``(entry, payload)`` for readable cached cells.
+
+    The experiment-database importer (``fcbench sweep import-cache``)
+    consumes this: each payload carries the full cell key (method,
+    dataset, target_elements, seed) plus the serialized measurement,
+    which is everything a ``cells`` row needs.  Stale entries are
+    skipped by default — their fingerprints no longer match the code
+    that would re-run them, so importing them would freeze outdated
+    numbers into the database.
+    """
+    scan = scan_cache(root)
+    for entry in scan.entries:
+        if fresh_only and entry.stale:
+            continue
+        try:
+            payload = json.loads(entry.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if "measurement" not in payload:
+            continue
+        yield entry, payload
 
 
 def clear_cache(root: Path | None = None, stale_only: bool = False) -> dict:

@@ -16,13 +16,26 @@ the size-limit logic (GFC's 512 MB bound produces Table 4's "-" cells).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.errors import DatasetError
 
-__all__ = ["DatasetSpec", "CATALOG", "get_spec", "dataset_names", "domains"]
+__all__ = [
+    "DatasetSpec",
+    "CATALOG",
+    "get_spec",
+    "dataset_names",
+    "domains",
+    "CorpusEntry",
+    "ExternalCorpus",
+    "load_manifest",
+    "MANIFEST_VERSION",
+]
 
 #: Paper's GFC limit; datasets above it show "-" in Table 4.
 GFC_LIMIT_BYTES = 512 * 1024 * 1024
@@ -199,3 +212,231 @@ def dataset_names(domain: str | None = None) -> list[str]:
 def domains() -> list[str]:
     """The four evaluation domains, in the paper's order."""
     return ["HPC", "TS", "OBS", "DB"]
+
+
+# ----------------------------------------------------------------------
+# External corpora (real cross-domain data, not generators)
+# ----------------------------------------------------------------------
+#: Manifest schema version; bumped on incompatible format changes.
+MANIFEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One externally sourced dataset: provenance plus integrity.
+
+    The file itself is *not* redistributed with the repo — the manifest
+    records where it comes from (``url``) and what its bytes must hash
+    to (``sha256``).  ``filename`` names the local file relative to the
+    corpus root; ``.npy`` files load through :func:`numpy.load`, any
+    other extension is treated as a raw little-endian array of
+    ``dtype`` (the SDRBench / Knorr-corpus convention).
+    """
+
+    name: str
+    domain: str  # "HPC" | "TS" | "OBS" | "DB"
+    dtype: str  # "f32" | "f64"
+    url: str
+    sha256: str
+    filename: str
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(np.float32 if self.dtype == "f32" else np.float64)
+
+
+def _validate_entry(raw: dict, index: int) -> CorpusEntry:
+    required = ("name", "domain", "dtype", "url", "sha256")
+    missing = [key for key in required if not raw.get(key)]
+    if missing:
+        raise DatasetError(
+            f"corpus entry {index}: missing field(s) {', '.join(missing)}"
+        )
+    if raw["domain"] not in domains():
+        raise DatasetError(
+            f"corpus entry {raw['name']!r}: unknown domain {raw['domain']!r} "
+            f"(expected one of {', '.join(domains())})"
+        )
+    if raw["dtype"] not in ("f32", "f64"):
+        raise DatasetError(
+            f"corpus entry {raw['name']!r}: dtype must be f32 or f64, "
+            f"got {raw['dtype']!r}"
+        )
+    digest = str(raw["sha256"]).lower()
+    if len(digest) != 64 or any(c not in "0123456789abcdef" for c in digest):
+        raise DatasetError(
+            f"corpus entry {raw['name']!r}: sha256 must be 64 hex chars"
+        )
+    return CorpusEntry(
+        name=str(raw["name"]),
+        domain=str(raw["domain"]),
+        dtype=str(raw["dtype"]),
+        url=str(raw["url"]),
+        sha256=digest,
+        filename=str(raw.get("filename") or f"{raw['name']}.bin"),
+    )
+
+
+def load_manifest(path: str | Path) -> list[CorpusEntry]:
+    """Parse and validate an external-corpus manifest file.
+
+    Format (JSON)::
+
+        {"version": 1,
+         "datasets": [{"name": ..., "domain": ..., "dtype": ...,
+                       "url": ..., "sha256": ..., "filename": ...}, ...]}
+
+    Malformed manifests raise :class:`~repro.errors.DatasetError` with
+    the offending entry named; duplicate dataset names are rejected so
+    grid keyfields stay unambiguous.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise DatasetError(f"cannot read corpus manifest {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"corpus manifest {path} is not JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "datasets" not in payload:
+        raise DatasetError(
+            f"corpus manifest {path} must be an object with a 'datasets' list"
+        )
+    version = payload.get("version")
+    if version != MANIFEST_VERSION:
+        raise DatasetError(
+            f"corpus manifest {path} has version {version!r}; this build "
+            f"reads version {MANIFEST_VERSION}"
+        )
+    entries = [
+        _validate_entry(raw, index)
+        for index, raw in enumerate(payload["datasets"])
+    ]
+    seen: set[str] = set()
+    for entry in entries:
+        if entry.name in seen:
+            raise DatasetError(f"corpus manifest {path}: duplicate {entry.name!r}")
+        if entry.name in _BY_NAME:
+            raise DatasetError(
+                f"corpus manifest {path}: {entry.name!r} shadows a catalog "
+                "dataset"
+            )
+        seen.add(entry.name)
+    return entries
+
+
+class ExternalCorpus:
+    """Checksum-validated loader over a manifest of external datasets.
+
+    A registered dataset whose file is absent is *offline*, not broken:
+    :meth:`available` reports it and the sweep marks its grid cells
+    ``skipped`` instead of failed.  A file that exists but fails its
+    checksum is broken — loading it raises
+    :class:`~repro.errors.DatasetError` rather than silently measuring
+    corrupted data.
+    """
+
+    def __init__(self, entries: list[CorpusEntry], root: str | Path) -> None:
+        self.root = Path(root)
+        self.entries = {entry.name: entry for entry in entries}
+
+    @classmethod
+    def from_manifest(
+        cls, path: str | Path, root: str | Path | None = None
+    ) -> "ExternalCorpus":
+        """Load a manifest; files default to living beside it."""
+        path = Path(path)
+        return cls(load_manifest(path), root if root is not None else path.parent)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    def names(self) -> list[str]:
+        return sorted(self.entries)
+
+    def entry(self, name: str) -> CorpusEntry:
+        try:
+            return self.entries[name]
+        except KeyError:
+            raise DatasetError(
+                f"unknown corpus dataset {name!r}; known: "
+                f"{', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def path(self, name: str) -> Path:
+        return self.root / self.entry(name).filename
+
+    def available(self, name: str) -> bool:
+        """True when the dataset's local file exists (no checksum yet)."""
+        return self.path(name).is_file()
+
+    def load(self, name: str) -> np.ndarray:
+        """Read, checksum-verify, and decode one dataset.
+
+        The sha256 is checked over the raw file bytes *before* decoding,
+        so a truncated download or bit rot surfaces as a typed error,
+        never as a silently different measurement.
+        """
+        entry = self.entry(name)
+        path = self.path(name)
+        try:
+            blob = path.read_bytes()
+        except OSError as exc:
+            raise DatasetError(
+                f"corpus dataset {name!r} is offline ({path}: {exc})"
+            ) from exc
+        digest = hashlib.sha256(blob).hexdigest()
+        if digest != entry.sha256:
+            raise DatasetError(
+                f"corpus dataset {name!r} failed checksum validation: "
+                f"{path} hashes to {digest[:16]}..., manifest says "
+                f"{entry.sha256[:16]}..."
+            )
+        if path.suffix == ".npy":
+            import io
+
+            array = np.load(io.BytesIO(blob), allow_pickle=False)
+            if array.dtype != entry.numpy_dtype:
+                raise DatasetError(
+                    f"corpus dataset {name!r}: file holds {array.dtype}, "
+                    f"manifest says {entry.dtype}"
+                )
+        else:
+            itemsize = entry.numpy_dtype.itemsize
+            if len(blob) % itemsize:
+                raise DatasetError(
+                    f"corpus dataset {name!r}: {len(blob)} bytes is not a "
+                    f"whole number of {entry.dtype} elements"
+                )
+            array = np.frombuffer(blob, dtype=entry.numpy_dtype).copy()
+        array.setflags(write=False)
+        return array
+
+    def spec(self, name: str) -> DatasetSpec:
+        """A synthesized :class:`DatasetSpec` for harness interop.
+
+        The paper fields describe the *local* file (extent/bytes from
+        what is on disk, entropy unknown); the generator recipe is the
+        sentinel ``"external"`` so nothing ever tries to synthesize it.
+        """
+        entry = self.entry(name)
+        path = self.path(name)
+        nbytes = path.stat().st_size if path.is_file() else 0
+        elements = nbytes // entry.numpy_dtype.itemsize if nbytes else 0
+        return DatasetSpec(
+            name=entry.name,
+            domain=entry.domain,
+            dtype=entry.dtype,
+            paper_extent=(int(elements),),
+            paper_bytes=int(nbytes),
+            paper_entropy=float("nan"),
+            generator="external",
+            params={"url": entry.url},
+        )
+
+    def status(self) -> dict:
+        """Per-dataset availability summary for CLI/report surfaces."""
+        return {
+            name: ("available" if self.available(name) else "missing")
+            for name in self.names()
+        }
+

@@ -61,6 +61,16 @@ class SelectionError(ReproError):
     """
 
 
+class ExperimentError(ReproError):
+    """The experiment database rejected an operation.
+
+    Raised by :mod:`repro.expdb` for schema-version mismatches, unknown
+    grid keyfields (codecs or datasets that are not registered), and
+    result writes whose claim was lost to a heartbeat timeout when the
+    caller asked for strict semantics.
+    """
+
+
 class ServiceError(ReproError):
     """The compression service failed to execute a request.
 

@@ -1,0 +1,187 @@
+"""Atomic claim-pending-row semantics with heartbeats.
+
+A worker acquires exactly one pending cell by flipping its status
+inside a ``BEGIN IMMEDIATE`` transaction — SQLite serializes writers,
+so two workers racing for the same row see exactly one winner.  The
+claim carries the worker's owner id and a heartbeat timestamp; a
+background :class:`Heartbeat` thread refreshes the timestamp while the
+cell executes.  Claims whose heartbeat is older than the timeout are
+*stale* — their worker was SIGKILLed, wedged, or partitioned — and
+:func:`release_stale` reverts them to pending so the cell is re-run.
+
+The two invariants every test in ``tests/expdb`` leans on:
+
+* **never lost** — a killed worker's claimed cell reverts to pending
+  after the heartbeat timeout and is re-claimed by any live worker;
+* **never doubled** — results are written through
+  :meth:`~repro.expdb.store.ExperimentStore.write_result`, whose
+  ``owner``/``status`` guard rejects the late write of a worker whose
+  claim expired, so the re-run's result is the only one recorded.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import uuid
+
+from repro.expdb.store import CellRow, ExperimentStore
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "Heartbeat",
+    "beat",
+    "claim_next",
+    "make_owner_id",
+    "release_stale",
+]
+
+#: Seconds between heartbeat refreshes while a cell executes.
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
+
+#: Seconds of heartbeat silence after which a claim is considered stale.
+#: Must be comfortably larger than the interval so one missed beat
+#: (scheduler hiccup, slow disk) does not forfeit a healthy claim.
+DEFAULT_HEARTBEAT_TIMEOUT = 10.0
+
+
+def make_owner_id() -> str:
+    """A globally unique worker identity: host, pid, random suffix.
+
+    The random suffix keeps two workers in one process (threads, or a
+    pid reused after a crash) distinguishable in the owner audit trail.
+    """
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+
+def claim_next(
+    store: ExperimentStore, owner: str, now: float | None = None
+) -> CellRow | None:
+    """Atomically claim the oldest pending cell, or None when none remain.
+
+    The SELECT and UPDATE run inside one ``BEGIN IMMEDIATE`` transaction:
+    the write lock is taken before the row is chosen, so concurrent
+    claimers cannot pick the same cell — the second claimer's SELECT
+    runs only after the first one committed its status flip.
+    """
+    now = time.time() if now is None else now
+    with store.transaction("IMMEDIATE"):
+        row = store.conn.execute(
+            "SELECT id FROM cells WHERE status = 'pending' "
+            "ORDER BY id LIMIT 1"
+        ).fetchone()
+        if row is None:
+            return None
+        cell_id = row["id"]
+        cur = store.conn.execute(
+            "UPDATE cells SET status = 'claimed', owner = ?, "
+            "claimed_at = ?, heartbeat = ?, attempts = attempts + 1 "
+            "WHERE id = ? AND status = 'pending'",
+            (owner, now, now, cell_id),
+        )
+        if cur.rowcount != 1:  # pragma: no cover - excluded by the lock
+            return None
+    store.log_event(cell_id, owner, "claimed", now=now)
+    return store.cell_by_id(cell_id)
+
+
+def beat(
+    store: ExperimentStore,
+    cell_id: int,
+    owner: str,
+    now: float | None = None,
+) -> bool:
+    """Refresh a claim's heartbeat; False when the claim was lost."""
+    now = time.time() if now is None else now
+    cur = store.conn.execute(
+        "UPDATE cells SET heartbeat = ? "
+        "WHERE id = ? AND owner = ? AND status = 'claimed'",
+        (now, cell_id, owner),
+    )
+    return cur.rowcount == 1
+
+
+def release_stale(
+    store: ExperimentStore,
+    timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+    now: float | None = None,
+    worker: str = "reaper",
+) -> list[int]:
+    """Revert claims whose heartbeat went silent; returns the cell ids.
+
+    Idempotent and safe to call from every worker on every loop
+    iteration: a claim younger than ``timeout`` is never touched, and
+    the expired cells go back to pending with their previous owner
+    recorded in the logtable for the audit trail.
+    """
+    now = time.time() if now is None else now
+    cutoff = now - timeout
+    with store.transaction("IMMEDIATE"):
+        rows = store.conn.execute(
+            "SELECT id, owner FROM cells "
+            "WHERE status = 'claimed' AND heartbeat < ?",
+            (cutoff,),
+        ).fetchall()
+        if not rows:
+            return []
+        ids = [row["id"] for row in rows]
+        marks = ", ".join("?" for _ in ids)
+        store.conn.execute(
+            f"UPDATE cells SET status = 'pending', owner = NULL "
+            f"WHERE id IN ({marks}) AND status = 'claimed'",
+            ids,
+        )
+    for row in rows:
+        store.log_event(
+            row["id"],
+            worker,
+            "claim-expired",
+            {"previous_owner": row["owner"]},
+            now=now,
+        )
+    return ids
+
+
+class Heartbeat:
+    """Daemon thread refreshing one claim's heartbeat while a cell runs.
+
+    Opens its own store connection (SQLite connections are bound to the
+    creating thread).  If a beat ever reports the claim lost — the
+    worker stalled past the timeout and a reaper reclaimed the cell —
+    the ``lost`` flag is raised so the worker can discard its result
+    instead of fighting the re-run (``write_result`` would reject the
+    write anyway; the flag just lets the worker report it).
+    """
+
+    def __init__(
+        self,
+        db_path,
+        cell_id: int,
+        owner: str,
+        interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    ) -> None:
+        self.db_path = db_path
+        self.cell_id = cell_id
+        self.owner = owner
+        self.interval = interval
+        self.lost = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        with ExperimentStore(self.db_path) as store:
+            while not self._stop.wait(self.interval):
+                if not beat(store, self.cell_id, self.owner):
+                    self.lost = True
+                    return
+
+    def __enter__(self) -> "Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)

@@ -1,0 +1,112 @@
+"""Migrate the per-cell JSON cache into the experiment database.
+
+``fcbench sweep import-cache`` walks the suite's on-disk cell cache
+(:mod:`repro.core.cache`) and inserts one ``cells`` row per fresh entry,
+so results accumulated by ``fcbench run`` sessions become queryable —
+and reportable — alongside sweep results without re-running anything.
+
+Imported rows use the whole-array keyfield encoding: cache cells were
+measured by the legacy :class:`~repro.core.runner.BenchmarkRunner`
+protocol, which corresponds to ``chunk_elements = 0`` / ``jobs = 1`` /
+``policy = "fixed"``.  Re-executing those keyfields through the sweep
+runner therefore reproduces the deterministic resultfields (ratio,
+input/compressed bytes) bit-for-bit — the round-trip property the
+import tests pin.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.core.cache import iter_cell_payloads
+from repro.expdb.store import ExperimentStore
+
+__all__ = ["import_cache"]
+
+
+def _throughput(nbytes, seconds) -> float | None:
+    try:
+        seconds = float(seconds)
+    except (TypeError, ValueError):
+        return None
+    if not math.isfinite(seconds) or seconds <= 0:
+        return None
+    return nbytes / seconds / 1e6
+
+
+def _row_from_payload(payload: dict) -> dict | None:
+    measurement = payload["measurement"]
+    try:
+        ok = bool(measurement["ok"])
+        row = {
+            "codec": str(payload["method"]),
+            "dataset": str(payload["dataset"]),
+            "chunk_elements": 0,
+            "jobs": 1,
+            "policy": "fixed",
+            "seed": int(payload.get("seed", 0)),
+            "target_elements": int(payload.get("target_elements", 0)),
+            "domain": str(measurement.get("domain", "?")),
+            "status": "done" if ok else "failed",
+            "error": str(measurement.get("error", "")),
+            "source": "cache-import",
+        }
+    except (KeyError, TypeError, ValueError):
+        return None
+    if ok:
+        input_bytes = measurement.get("input_bytes")
+        row.update(
+            {
+                "ratio": measurement.get("compression_ratio"),
+                "input_bytes": input_bytes,
+                "compressed_bytes": measurement.get("compressed_bytes"),
+                "encode_mbs": _throughput(
+                    input_bytes, measurement.get("measured_compress_s")
+                ),
+                "decode_mbs": _throughput(
+                    input_bytes, measurement.get("measured_decompress_s")
+                ),
+            }
+        )
+    return row
+
+
+def import_cache(
+    store: ExperimentStore, root: Path | None = None
+) -> dict:
+    """Insert one row per fresh cached cell; returns import counters.
+
+    Idempotent: a cell already present in the database (any status) is
+    left untouched — the keyfield UNIQUE constraint makes the insert a
+    no-op — so re-importing after new suite runs only adds the new
+    cells.  Stale or unreadable cache files are counted and skipped.
+    """
+    imported_done = 0
+    imported_failed = 0
+    skipped_stale = 0
+    skipped_existing = 0
+    malformed = 0
+    for entry, payload in iter_cell_payloads(root, fresh_only=False):
+        if entry.stale:
+            skipped_stale += 1
+            continue
+        row = _row_from_payload(payload)
+        if row is None:
+            malformed += 1
+            continue
+        added = store.insert_cells([row])
+        if added == 0:
+            skipped_existing += 1
+        elif row["status"] == "done":
+            imported_done += 1
+        else:
+            imported_failed += 1
+    return {
+        "imported": imported_done + imported_failed,
+        "imported_done": imported_done,
+        "imported_failed": imported_failed,
+        "skipped_stale": skipped_stale,
+        "skipped_existing": skipped_existing,
+        "malformed": malformed,
+    }

@@ -250,6 +250,7 @@ def run_bench(
     service: bool = False,
     resilience: bool = False,
     seed: int = 0,
+    sweep_db: str | Path | None = None,
     on_cell: Callable[[dict], None] | None = None,
 ) -> dict:
     """Measure the (methods x datasets) matrix plus the guard cells."""
@@ -321,6 +322,14 @@ def run_bench(
         report.setdefault("service", {})["resilience"] = run_chaos_soak(
             seed=seed
         )
+    if sweep_db is not None:
+        # Fold the experiment database's statistical summary (counts,
+        # Friedman chi-square, Nemenyi CD, method ranking) into the
+        # snapshot so sweep-scale conclusions are versioned per commit
+        # alongside raw throughput.
+        from repro.expdb.report import bench_section
+
+        report["sweep"] = bench_section(sweep_db)
     return report
 
 

@@ -1,0 +1,188 @@
+"""External-corpus manifest: validation, checksums, offline handling."""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import (
+    MANIFEST_VERSION,
+    ExternalCorpus,
+    load_manifest,
+)
+from repro.errors import DatasetError
+
+
+def _entry(**overrides) -> dict:
+    entry = {
+        "name": "sst-slice",
+        "domain": "OBS",
+        "dtype": "f32",
+        "url": "https://example.org/sst-slice.bin",
+        "sha256": "0" * 64,
+    }
+    entry.update(overrides)
+    return entry
+
+
+def _write_manifest(tmp_path, entries, version=MANIFEST_VERSION):
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps({"version": version, "datasets": entries}))
+    return path
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    """A corpus root with two datasets on disk and one offline."""
+    raw = np.linspace(0.0, 4.0, 600, dtype=np.float32)
+    raw_blob = raw.tobytes()
+    (tmp_path / "sst-slice.bin").write_bytes(raw_blob)
+
+    arr = np.sin(np.linspace(0.0, 9.0, 500)).astype(np.float64)
+    npy_path = tmp_path / "tides.npy"
+    np.save(npy_path, arr)
+    npy_blob = npy_path.read_bytes()
+
+    manifest = _write_manifest(
+        tmp_path,
+        [
+            _entry(sha256=hashlib.sha256(raw_blob).hexdigest()),
+            _entry(
+                name="tides",
+                domain="TS",
+                dtype="f64",
+                filename="tides.npy",
+                sha256=hashlib.sha256(npy_blob).hexdigest(),
+            ),
+            _entry(name="ghost", domain="HPC", dtype="f64"),
+        ],
+    )
+    return manifest, raw, arr
+
+
+def test_load_manifest_round_trip(tmp_path):
+    path = _write_manifest(tmp_path, [_entry()])
+    entries = load_manifest(path)
+    assert entries[0].name == "sst-slice"
+    assert entries[0].filename == "sst-slice.bin"  # defaulted
+    assert entries[0].numpy_dtype == np.dtype(np.float32)
+
+
+def test_manifest_rejects_wrong_version(tmp_path):
+    path = _write_manifest(tmp_path, [_entry()], version=99)
+    with pytest.raises(DatasetError, match="version"):
+        load_manifest(path)
+
+
+def test_manifest_rejects_missing_fields(tmp_path):
+    entry = _entry()
+    del entry["sha256"]
+    path = _write_manifest(tmp_path, [entry])
+    with pytest.raises(DatasetError, match="sha256"):
+        load_manifest(path)
+
+
+def test_manifest_rejects_bad_domain_and_dtype(tmp_path):
+    with pytest.raises(DatasetError, match="domain"):
+        load_manifest(_write_manifest(tmp_path, [_entry(domain="WEB")]))
+    with pytest.raises(DatasetError, match="dtype"):
+        load_manifest(_write_manifest(tmp_path, [_entry(dtype="i64")]))
+
+
+def test_manifest_rejects_bad_sha256(tmp_path):
+    path = _write_manifest(tmp_path, [_entry(sha256="abc123")])
+    with pytest.raises(DatasetError, match="64 hex"):
+        load_manifest(path)
+
+
+def test_manifest_rejects_duplicates_and_catalog_shadowing(tmp_path):
+    path = _write_manifest(tmp_path, [_entry(), _entry()])
+    with pytest.raises(DatasetError, match="duplicate"):
+        load_manifest(path)
+    path = _write_manifest(tmp_path, [_entry(name="citytemp")])
+    with pytest.raises(DatasetError, match="shadows"):
+        load_manifest(path)
+
+
+def test_manifest_rejects_non_json(tmp_path):
+    path = tmp_path / "manifest.json"
+    path.write_text("not json {")
+    with pytest.raises(DatasetError, match="not JSON"):
+        load_manifest(path)
+
+
+def test_load_raw_binary_checksum_validated(corpus_dir):
+    manifest, raw, _ = corpus_dir
+    corpus = ExternalCorpus.from_manifest(manifest)
+    loaded = corpus.load("sst-slice")
+    assert loaded.dtype == np.float32
+    np.testing.assert_array_equal(loaded, raw)
+    assert not loaded.flags.writeable
+
+
+def test_load_npy_checksum_validated(corpus_dir):
+    manifest, _, arr = corpus_dir
+    corpus = ExternalCorpus.from_manifest(manifest)
+    loaded = corpus.load("tides")
+    assert loaded.dtype == np.float64
+    np.testing.assert_array_equal(loaded, arr)
+
+
+def test_corrupted_file_fails_checksum(corpus_dir):
+    manifest, _, _ = corpus_dir
+    corpus = ExternalCorpus.from_manifest(manifest)
+    path = corpus.path("sst-slice")
+    blob = bytearray(path.read_bytes())
+    blob[7] ^= 0xFF  # single-bit-ish rot
+    path.write_bytes(bytes(blob))
+    with pytest.raises(DatasetError, match="checksum"):
+        corpus.load("sst-slice")
+
+
+def test_offline_dataset_is_graceful(corpus_dir):
+    manifest, _, _ = corpus_dir
+    corpus = ExternalCorpus.from_manifest(manifest)
+    assert not corpus.available("ghost")
+    assert corpus.status()["ghost"] == "missing"
+    assert corpus.status()["sst-slice"] == "available"
+    with pytest.raises(DatasetError, match="offline"):
+        corpus.load("ghost")
+
+
+def test_unknown_name_lists_known(corpus_dir):
+    manifest, _, _ = corpus_dir
+    corpus = ExternalCorpus.from_manifest(manifest)
+    with pytest.raises(DatasetError, match="sst-slice"):
+        corpus.entry("nope")
+
+
+def test_spec_synthesized_from_local_file(corpus_dir):
+    manifest, raw, _ = corpus_dir
+    corpus = ExternalCorpus.from_manifest(manifest)
+    spec = corpus.spec("sst-slice")
+    assert spec.generator == "external"
+    assert spec.domain == "OBS"
+    assert spec.paper_bytes == raw.nbytes
+    assert spec.paper_extent == (raw.size,)
+    # Offline datasets still produce a spec (zero-sized).
+    assert corpus.spec("ghost").paper_bytes == 0
+
+
+def test_raw_file_must_hold_whole_elements(tmp_path):
+    blob = b"\x00" * 10  # not a multiple of 8
+    (tmp_path / "odd.bin").write_bytes(blob)
+    manifest = _write_manifest(
+        tmp_path,
+        [
+            _entry(
+                name="odd",
+                dtype="f64",
+                filename="odd.bin",
+                sha256=hashlib.sha256(blob).hexdigest(),
+            )
+        ],
+    )
+    corpus = ExternalCorpus.from_manifest(manifest)
+    with pytest.raises(DatasetError, match="whole number"):
+        corpus.load("odd")

@@ -1,0 +1,181 @@
+"""Claim semantics: atomic acquisition, heartbeats, stale reaping."""
+
+import threading
+
+import pytest
+
+from repro.expdb.claim import (
+    Heartbeat,
+    beat,
+    claim_next,
+    make_owner_id,
+    release_stale,
+)
+from repro.expdb.store import CellKey, ExperimentStore
+
+
+@pytest.fixture()
+def db(tmp_path):
+    return tmp_path / "exp.sqlite"
+
+
+def _fill(store: ExperimentStore, n: int) -> None:
+    rows = []
+    for i in range(n):
+        rows.append(
+            {
+                **CellKey(
+                    codec="gorilla",
+                    dataset="citytemp",
+                    chunk_elements=1024,
+                    jobs=1,
+                    policy="fixed",
+                    seed=i,
+                    target_elements=2048,
+                ).as_dict(),
+                "domain": "TS",
+            }
+        )
+    store.insert_cells(rows)
+
+
+def test_owner_ids_are_unique():
+    assert make_owner_id() != make_owner_id()
+
+
+def test_claim_transitions_and_audits(db):
+    with ExperimentStore(db) as store:
+        _fill(store, 1)
+        cell = claim_next(store, "w1", now=100.0)
+        assert cell.status == "claimed"
+        assert cell.owner == "w1"
+        assert cell.attempts == 1
+        assert cell.claimed_at == 100.0
+        assert cell.heartbeat == 100.0
+        assert [e.kind for e in store.events(cell.id)] == ["claimed"]
+
+
+def test_claim_exhausts_in_order(db):
+    with ExperimentStore(db) as store:
+        _fill(store, 3)
+        ids = [claim_next(store, "w").id for _ in range(3)]
+        assert ids == sorted(ids)
+        assert claim_next(store, "w") is None
+
+
+def test_concurrent_claimers_never_share_a_cell(db):
+    n_cells, n_workers = 12, 4
+    with ExperimentStore(db) as store:
+        _fill(store, n_cells)
+    claimed: dict[str, list[int]] = {}
+    barrier = threading.Barrier(n_workers)
+
+    def worker(name: str) -> None:
+        mine = claimed.setdefault(name, [])
+        with ExperimentStore(db) as store:
+            barrier.wait()
+            while True:
+                cell = claim_next(store, name)
+                if cell is None:
+                    return
+                mine.append(cell.id)
+
+    threads = [
+        threading.Thread(target=worker, args=(f"w{i}",))
+        for i in range(n_workers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    all_ids = [cid for ids in claimed.values() for cid in ids]
+    assert len(all_ids) == n_cells
+    assert len(set(all_ids)) == n_cells  # no cell claimed twice
+
+    # The database's own audit agrees: every cell has exactly one
+    # claimed event, attributed to the worker holding the claim.
+    with ExperimentStore(db) as store:
+        for cell in store.cells():
+            events = [
+                e for e in store.events(cell.id) if e.kind == "claimed"
+            ]
+            assert len(events) == 1
+            assert cell.id in claimed[events[0].worker]
+            assert cell.owner == events[0].worker
+            assert cell.attempts == 1
+
+
+def test_beat_refreshes_only_own_live_claim(db):
+    with ExperimentStore(db) as store:
+        _fill(store, 1)
+        cell = claim_next(store, "w1", now=100.0)
+        assert beat(store, cell.id, "w1", now=105.0)
+        assert store.cell_by_id(cell.id).heartbeat == 105.0
+        assert not beat(store, cell.id, "intruder", now=106.0)
+        assert store.cell_by_id(cell.id).heartbeat == 105.0
+
+
+def test_release_stale_reverts_only_silent_claims(db):
+    with ExperimentStore(db) as store:
+        _fill(store, 2)
+        dead = claim_next(store, "dead", now=100.0)
+        live = claim_next(store, "live", now=100.0)
+        beat(store, live.id, "live", now=150.0)
+        released = release_stale(store, timeout=10.0, now=160.0)
+        assert released == [dead.id]
+        assert store.cell_by_id(dead.id).status == "pending"
+        assert store.cell_by_id(dead.id).owner is None
+        assert store.cell_by_id(live.id).status == "claimed"
+        expired = store.events(dead.id, kind="claim-expired")
+        assert expired[0].payload == {"previous_owner": "dead"}
+
+
+def test_release_stale_is_idempotent(db):
+    with ExperimentStore(db) as store:
+        _fill(store, 1)
+        cell = claim_next(store, "w", now=100.0)
+        assert release_stale(store, timeout=10.0, now=200.0) == [cell.id]
+        assert release_stale(store, timeout=10.0, now=200.0) == []
+
+
+def test_reclaimed_cell_rejects_late_write(db):
+    # The "never doubled" invariant: a worker whose claim expired and
+    # was re-claimed cannot overwrite the re-run's result.
+    with ExperimentStore(db) as store:
+        _fill(store, 1)
+        first = claim_next(store, "stalled", now=100.0)
+        release_stale(store, timeout=10.0, now=200.0)
+        second = claim_next(store, "fresh", now=200.0)
+        assert second.id == first.id
+        assert second.attempts == 2
+        assert not store.write_result(first.id, "stalled", "done", {"ratio": 9.9})
+        assert store.write_result(second.id, "fresh", "done", {"ratio": 1.5})
+        assert store.cell_by_id(first.id).ratio == 1.5
+
+
+def test_heartbeat_thread_keeps_claim_alive(db):
+    with ExperimentStore(db) as store:
+        _fill(store, 1)
+        cell = claim_next(store, "w")
+        before = store.cell_by_id(cell.id).heartbeat
+    with Heartbeat(db, cell.id, "w", interval=0.05):
+        import time
+
+        time.sleep(0.3)
+    with ExperimentStore(db) as store:
+        assert store.cell_by_id(cell.id).heartbeat > before
+
+
+def test_heartbeat_flags_lost_claim(db):
+    with ExperimentStore(db) as store:
+        _fill(store, 1)
+        cell = claim_next(store, "w", now=100.0)
+        release_stale(store, timeout=1.0, now=200.0)
+        claim_next(store, "usurper", now=200.0)
+    import time
+
+    with Heartbeat(db, cell.id, "w", interval=0.05) as hb:
+        deadline = time.time() + 5.0
+        while not hb.lost and time.time() < deadline:
+            time.sleep(0.02)
+    assert hb.lost

@@ -1,0 +1,155 @@
+"""Crash-resume integration: SIGKILLed workers lose nothing.
+
+These tests spawn *real* worker processes (the same ``fcbench sweep
+worker`` verb ``sweep run --workers N`` uses) and kill one of them with
+SIGKILL — no atexit handler, no cleanup — while it demonstrably holds a
+claim.  The sweep must then resume to 100% with every cell executed
+exactly once: the dead worker's claim expires via the heartbeat timeout
+and any later worker re-claims the cell.
+"""
+
+import os
+import signal
+import subprocess
+import time
+
+import pytest
+
+from repro.expdb.claim import release_stale
+from repro.expdb.store import ExperimentStore
+from repro.expdb.sweep import (
+    DELAY_ENV,
+    GridSpec,
+    init_grid,
+    run_sweep,
+    worker_command,
+    worker_env,
+    worker_loop,
+)
+
+pytestmark = pytest.mark.expdb
+
+GRID = GridSpec(
+    codecs=("gorilla", "chimp"),
+    datasets=("citytemp", "msg-bt"),
+    chunk_elements=(512,),
+    target_elements=1024,
+)
+
+
+@pytest.fixture()
+def db(tmp_path):
+    path = tmp_path / "exp.sqlite"
+    with ExperimentStore(path) as store:
+        init_grid(store, GRID)
+    return path
+
+
+def _spawn_worker(db, delay_s: float, owner: str, interval=0.05):
+    env = worker_env()
+    env[DELAY_ENV] = str(delay_s)
+    cmd = worker_command(db, heartbeat_interval=interval, heartbeat_timeout=60.0)
+    cmd += ["--owner", owner]
+    return subprocess.Popen(
+        cmd,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _wait_for_claim(db, owner: str, timeout: float = 30.0):
+    """Block until ``owner`` holds a claim; returns the claimed cell."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        with ExperimentStore(db) as store:
+            claimed = [
+                c for c in store.cells(status="claimed") if c.owner == owner
+            ]
+        if claimed:
+            return claimed[0]
+        time.sleep(0.05)
+    raise AssertionError(f"worker {owner} never claimed a cell")
+
+
+def test_sigkilled_worker_claim_expires_and_cell_is_rerun(db):
+    victim = _spawn_worker(db, delay_s=120.0, owner="victim")
+    try:
+        cell = _wait_for_claim(db, "victim")
+        # SIGKILL while the claim is held: no Python-level cleanup runs.
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=10.0)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+
+    with ExperimentStore(db) as store:
+        # The claim survives the process: still 'claimed' until reaped.
+        assert store.cell_by_id(cell.id).status == "claimed"
+        # Heartbeats stopped with the process, so the claim goes stale.
+        released = release_stale(store, timeout=0.5, now=time.time() + 10.0)
+        assert cell.id in released
+        assert store.cell_by_id(cell.id).status == "pending"
+
+    # Resume in-process: the whole grid completes, including the cell
+    # the dead worker was holding.
+    summary = worker_loop(db, owner="survivor")
+    assert summary["executed"] == 4
+    with ExperimentStore(db) as store:
+        counts = store.counts()
+        assert counts["done"] == 4
+        assert counts["pending"] == 0
+        assert counts["claimed"] == 0
+        rerun = store.cell_by_id(cell.id)
+        assert rerun.status == "done"
+        assert rerun.owner == "survivor"
+        assert rerun.attempts == 2  # victim's claim plus the re-run
+        # Exactly one result was recorded despite two claims.
+        assert len(store.events(cell.id, kind="done")) == 1
+        expired = store.events(cell.id, kind="claim-expired")
+        assert expired[0].payload == {"previous_owner": "victim"}
+
+
+def test_run_sweep_recovers_after_mid_run_kill(db):
+    # Stage one worker that will stall forever on its first cell, then
+    # kill it and drive the sweep to completion with run_sweep — the
+    # production resume path (reap stale claims, then drain).
+    victim = _spawn_worker(db, delay_s=120.0, owner="victim")
+    try:
+        _wait_for_claim(db, "victim")
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=10.0)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+
+    time.sleep(1.0)  # let the victim's last heartbeat age past timeout
+    summary = run_sweep(db, workers=1, heartbeat_timeout=0.5)
+    assert summary["counts"]["done"] == 4
+    assert summary["counts"]["pending"] == 0
+    assert summary["counts"]["claimed"] == 0
+
+
+def test_two_workers_split_the_grid_without_overlap(db):
+    # Two live subprocess workers drain the grid concurrently; the
+    # owner audit proves no cell was executed by both.
+    workers = [
+        _spawn_worker(db, delay_s=0.1, owner=f"w{i}") for i in range(2)
+    ]
+    for proc in workers:
+        out, _ = proc.communicate(timeout=120.0)
+        assert proc.returncode == 0, out
+
+    with ExperimentStore(db) as store:
+        counts = store.counts()
+        assert counts["done"] == 4
+        owners = set()
+        for cell in store.cells():
+            assert cell.attempts == 1
+            done_events = store.events(cell.id, kind="done")
+            assert len(done_events) == 1
+            assert done_events[0].worker == cell.owner
+            owners.add(cell.owner)
+        # With a 0.1 s per-cell stall, both workers get claims.
+        assert owners <= {"w0", "w1"}

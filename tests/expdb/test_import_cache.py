@@ -1,0 +1,132 @@
+"""Cache → database migration, including the re-run round-trip."""
+
+import json
+
+import pytest
+
+from repro.core.executor import CellTask
+from repro.core.runner import BenchmarkRunner
+from repro.expdb.importer import import_cache
+from repro.expdb.store import CellKey, ExperimentStore
+from repro.expdb.sweep import execute_cell
+
+
+@pytest.fixture()
+def cache_root(tmp_path, monkeypatch):
+    root = tmp_path / "cache"
+    root.mkdir()
+    monkeypatch.setenv("FCBENCH_CACHE_DIR", str(root))
+    return root
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with ExperimentStore(tmp_path / "exp.sqlite") as s:
+        yield s
+
+
+def _populate_cache(root, methods=("gorilla", "chimp"), datasets=("citytemp",)):
+    from repro.core.cache import CellCache
+    from repro.data.catalog import get_spec
+    from repro.data.loader import load
+
+    runner = BenchmarkRunner()
+    cache = CellCache(root=root, runner=runner)
+    tasks = []
+    for method in methods:
+        for dataset in datasets:
+            task = CellTask(method, dataset, target_elements=1024, seed=0)
+            measurement = runner.run_cell(
+                method, load(dataset, 1024, 0), get_spec(dataset)
+            )
+            cache.put(task, measurement)
+            tasks.append((task, measurement))
+    return tasks
+
+
+def test_import_counts_and_rows(cache_root, store):
+    tasks = _populate_cache(cache_root)
+    counts = import_cache(store)
+    assert counts["imported"] == len(tasks)
+    assert counts["imported_done"] == len(tasks)
+    assert counts["malformed"] == 0
+    cells = store.cells()
+    assert len(cells) == len(tasks)
+    for cell in cells:
+        assert cell.status == "done"
+        assert cell.source == "cache-import"
+        assert cell.key.chunk_elements == 0
+        assert cell.key.jobs == 1
+        assert cell.key.policy == "fixed"
+
+
+def test_import_is_idempotent(cache_root, store):
+    _populate_cache(cache_root)
+    first = import_cache(store)
+    second = import_cache(store)
+    assert first["imported"] == 2
+    assert second["imported"] == 0
+    assert second["skipped_existing"] == 2
+    assert store.counts()["total"] == 2
+
+
+def test_import_skips_stale_entries(cache_root, store):
+    _populate_cache(cache_root)
+    # Corrupt one entry's cache version: it is stale and must not land.
+    cell_file = next(cache_root.glob("cells/gorilla/*.json"))
+    payload = json.loads(cell_file.read_text())
+    payload["cache_version"] = "v0-ancient"
+    cell_file.write_text(json.dumps(payload))
+    counts = import_cache(store)
+    assert counts["imported"] == 1
+    assert counts["skipped_stale"] == 1
+
+
+def test_import_skips_malformed_entries(cache_root, store):
+    _populate_cache(cache_root, methods=("gorilla",))
+    cell_file = next(cache_root.glob("cells/gorilla/*.json"))
+    payload = json.loads(cell_file.read_text())
+    del payload["measurement"]["ok"]
+    cell_file.write_text(json.dumps(payload))
+    counts = import_cache(store)
+    assert counts["imported"] == 0
+    assert counts["malformed"] == 1
+
+
+def test_imported_rows_match_measurements(cache_root, store):
+    tasks = _populate_cache(cache_root)
+    import_cache(store)
+    for task, measurement in tasks:
+        cell = store.find_cell(
+            CellKey(
+                codec=task.method,
+                dataset=task.dataset,
+                chunk_elements=0,
+                jobs=1,
+                policy="fixed",
+                seed=task.seed,
+                target_elements=task.target_elements,
+            )
+        )
+        assert cell is not None
+        assert cell.ratio == measurement.compression_ratio
+        assert cell.input_bytes == measurement.input_bytes
+        assert cell.compressed_bytes == measurement.compressed_bytes
+        assert cell.domain == measurement.domain
+
+
+def test_round_trip_matches_fresh_run(cache_root, store):
+    """The ISSUE acceptance check: imported rows == a fresh run's rows.
+
+    A cache-imported cell and a fresh sweep execution of the same
+    keyfields must agree on every deterministic resultfield (ratio and
+    byte counts; wall-clock throughputs legitimately differ).
+    """
+    _populate_cache(cache_root)
+    import_cache(store)
+    for cell in store.cells():
+        status, fields, error, _ = execute_cell(cell.key)
+        assert status == cell.status, error
+        assert fields["ratio"] == cell.ratio
+        assert fields["input_bytes"] == cell.input_bytes
+        assert fields["compressed_bytes"] == cell.compressed_bytes

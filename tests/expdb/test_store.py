@@ -1,0 +1,203 @@
+"""Tests for the sqlite experiment store (schema, inserts, guards)."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.expdb.store import (
+    RESULT_FIELDS,
+    SCHEMA_VERSION,
+    STATUSES,
+    CellKey,
+    ExperimentStore,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with ExperimentStore(tmp_path / "exp.sqlite") as s:
+        yield s
+
+
+def _key(**overrides) -> CellKey:
+    base = dict(
+        codec="gorilla",
+        dataset="citytemp",
+        chunk_elements=1024,
+        jobs=1,
+        policy="fixed",
+        seed=0,
+        target_elements=2048,
+    )
+    base.update(overrides)
+    return CellKey(**base)
+
+
+def _row(**overrides) -> dict:
+    row = _key().as_dict()
+    row["domain"] = "TS"
+    row.update(overrides)
+    return row
+
+
+def test_schema_version_recorded(store):
+    assert store.get_meta("schema_version") == str(SCHEMA_VERSION)
+
+
+def test_schema_version_mismatch_refused(tmp_path):
+    path = tmp_path / "exp.sqlite"
+    with ExperimentStore(path) as s:
+        s.conn.execute(
+            "UPDATE meta SET value = '999' WHERE key = 'schema_version'"
+        )
+    with pytest.raises(ExperimentError, match="schema version"):
+        ExperimentStore(path)
+
+
+def test_wal_mode_enabled(store):
+    mode = store.conn.execute("PRAGMA journal_mode").fetchone()[0]
+    assert mode == "wal"
+
+
+def test_insert_is_idempotent(store):
+    assert store.insert_cells([_row()]) == 1
+    assert store.insert_cells([_row()]) == 0
+    assert store.counts()["total"] == 1
+
+
+def test_insert_distinguishes_every_keyfield(store):
+    rows = [_row()]
+    for field, value in [
+        ("codec", "chimp"),
+        ("dataset", "msg-bt"),
+        ("chunk_elements", 0),
+        ("jobs", 2),
+        ("policy", "measured"),
+        ("seed", 7),
+        ("target_elements", 512),
+    ]:
+        rows.append(_row(**{field: value}))
+    assert store.insert_cells(rows) == len(rows)
+
+
+def test_insert_rejects_bad_status(store):
+    with pytest.raises(ExperimentError, match="status"):
+        store.insert_cells([_row(status="wedged")])
+
+
+def test_find_cell_round_trips_keyfields(store):
+    store.insert_cells([_row()])
+    cell = store.find_cell(_key())
+    assert cell is not None
+    assert cell.key == _key()
+    assert cell.status == "pending"
+    assert cell.domain == "TS"
+    assert store.find_cell(_key(seed=99)) is None
+
+
+def test_counts_cover_every_status(store):
+    assert store.counts() == {**{s: 0 for s in STATUSES}, "total": 0}
+    store.insert_cells([_row(), _row(codec="chimp", status="skipped")])
+    counts = store.counts()
+    assert counts["pending"] == 1
+    assert counts["skipped"] == 1
+    assert counts["total"] == 2
+
+
+def test_write_result_requires_matching_owner(store):
+    from repro.expdb.claim import claim_next
+
+    store.insert_cells([_row()])
+    cell = claim_next(store, "worker-a")
+    assert not store.write_result(cell.id, "worker-b", "done", {"ratio": 2.0})
+    assert store.cell_by_id(cell.id).status == "claimed"
+    assert store.write_result(cell.id, "worker-a", "done", {"ratio": 2.0})
+    row = store.cell_by_id(cell.id)
+    assert row.status == "done"
+    assert row.ratio == 2.0
+    assert row.finished_at is not None
+
+
+def test_write_result_requires_claimed_status(store):
+    store.insert_cells([_row()])
+    cell = store.find_cell(_key())
+    # Never claimed: a write against a pending cell is rejected.
+    assert not store.write_result(cell.id, "worker-a", "done", {"ratio": 2.0})
+
+
+def test_write_result_rejects_non_terminal_status(store):
+    from repro.expdb.claim import claim_next
+
+    store.insert_cells([_row()])
+    cell = claim_next(store, "w")
+    with pytest.raises(ExperimentError, match="terminal"):
+        store.write_result(cell.id, "w", "pending")
+
+
+def test_write_result_rejects_unknown_resultfield(store):
+    from repro.expdb.claim import claim_next
+
+    store.insert_cells([_row()])
+    cell = claim_next(store, "w")
+    with pytest.raises(ExperimentError, match="resultfield"):
+        store.write_result(cell.id, "w", "done", {"vibes": 11.0})
+
+
+def test_resultfields_round_trip(store):
+    from repro.expdb.claim import claim_next
+
+    store.insert_cells([_row()])
+    cell = claim_next(store, "w")
+    fields = {
+        "ratio": 1.5,
+        "encode_mbs": 100.0,
+        "decode_mbs": 200.0,
+        "input_bytes": 8192,
+        "compressed_bytes": 5461,
+    }
+    assert set(fields) == set(RESULT_FIELDS)
+    store.write_result(cell.id, "w", "done", fields)
+    assert store.cell_by_id(cell.id).resultfields() == fields
+
+
+def test_reset_cells_requeues_failures(store):
+    from repro.expdb.claim import claim_next
+
+    store.insert_cells([_row()])
+    cell = claim_next(store, "w")
+    store.write_result(cell.id, "w", "failed", error="boom")
+    assert store.reset_cells(("failed",)) == 1
+    row = store.cell_by_id(cell.id)
+    assert row.status == "pending"
+    assert row.error == ""
+
+
+def test_events_logtable(store):
+    store.insert_cells([_row()])
+    cell = store.find_cell(_key())
+    store.log_event(cell.id, "w", "chunk", {"index": 0, "compressed_bytes": 9})
+    store.log_event(cell.id, "w", "done")
+    events = store.events(cell_id=cell.id)
+    assert [e.kind for e in events] == ["chunk", "done"]
+    assert events[0].payload == {"index": 0, "compressed_bytes": 9}
+    assert store.events(kind="done")[0].cell_id == cell.id
+
+
+def test_meta_json_round_trip(store):
+    store.set_meta("grid", {"codecs": ["gorilla"], "seeds": [0, 1]})
+    assert store.get_meta("grid") == {"codecs": ["gorilla"], "seeds": [0, 1]}
+    assert store.get_meta("missing", "fallback") == "fallback"
+
+
+def test_status_check_constraint_enforced_by_sqlite(store):
+    store.insert_cells([_row()])
+    with pytest.raises(sqlite3.IntegrityError):
+        store.conn.execute("UPDATE cells SET status = 'bogus'")
+
+
+def test_two_connections_share_one_database(tmp_path):
+    path = tmp_path / "exp.sqlite"
+    with ExperimentStore(path) as a, ExperimentStore(path) as b:
+        a.insert_cells([_row()])
+        assert b.counts()["total"] == 1

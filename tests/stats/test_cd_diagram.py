@@ -35,3 +35,19 @@ def test_clique_bars_present():
     text = render_cd_diagram(_result())
     assert "cliques" in text
     assert "=" in text.split("cliques")[1]
+
+
+def test_rendering_is_deterministic():
+    # The sweep reporter persists this string as an artifact and diffs
+    # it across runs, so repeated renders must be byte-identical.
+    assert render_cd_diagram(_result()) == render_cd_diagram(_result())
+
+
+def test_rendering_invariant_to_input_order():
+    # The diagram is ordered by rank, not by the caller's method order.
+    shuffled = nemenyi_test(
+        ["delta", "gamma", "alpha", "beta"],
+        np.array([3.9, 3.0, 1.2, 1.5]),
+        30,
+    )
+    assert render_cd_diagram(shuffled) == render_cd_diagram(_result())

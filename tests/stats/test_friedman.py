@@ -43,3 +43,48 @@ def test_average_ranks_ordering():
 def test_too_small_input_rejected():
     with pytest.raises(ValueError):
         friedman_test(np.ones((1, 5)))
+
+
+# ----------------------------------------------------------------------
+# Hand-computed pins (not scipy-derived): the 4x3 matrix below is small
+# enough to rank on paper, so these values catch a regression in our own
+# arithmetic even if scipy's reference implementation changed.
+# ----------------------------------------------------------------------
+#
+# Scores (higher is better), one row per dataset:
+#   [3, 2, 1]  -> ranks (1, 2, 3)
+#   [3, 1, 2]  -> ranks (1, 3, 2)
+#   [2, 3, 1]  -> ranks (2, 1, 3)
+#   [3, 2, 1]  -> ranks (1, 2, 3)
+# Average ranks: (1.25, 2.00, 2.75).
+# chi2 = 12N/(k(k+1)) * (sum R_j^2 - k(k+1)^2/4)
+#      = 12*4/12 * (1.25^2 + 2^2 + 2.75^2 - 12) = 4 * 1.125 = 4.5
+# p(chi2=4.5, df=2) = exp(-4.5/2) = exp(-2.25)
+# F = (N-1) chi2 / (N(k-1) - chi2) = 3*4.5 / (8-4.5) = 27/7
+_HAND_SCORES = np.array(
+    [[3.0, 2.0, 1.0], [3.0, 1.0, 2.0], [2.0, 3.0, 1.0], [3.0, 2.0, 1.0]]
+)
+
+
+def test_hand_computed_average_ranks():
+    result = friedman_test(_HAND_SCORES, higher_is_better=True)
+    assert result.average_ranks == pytest.approx([1.25, 2.0, 2.75])
+
+
+def test_hand_computed_chi_square():
+    result = friedman_test(_HAND_SCORES, higher_is_better=True)
+    assert result.chi_square == pytest.approx(4.5, abs=1e-12)
+    assert result.chi_square_pvalue == pytest.approx(np.exp(-2.25), rel=1e-12)
+
+
+def test_hand_computed_iman_davenport():
+    result = friedman_test(_HAND_SCORES, higher_is_better=True)
+    assert result.iman_davenport_f == pytest.approx(27.0 / 7.0, rel=1e-12)
+
+
+def test_nan_scores_rank_worst():
+    # A method that failed on one dataset (NaN) takes the worst rank
+    # there — the paper's "-" cells penalize, they do not vanish.
+    scores = np.array([[3.0, 2.0, np.nan], [3.0, 2.0, 1.0]])
+    result = friedman_test(scores, higher_is_better=True)
+    assert result.average_ranks[2] == pytest.approx(3.0)

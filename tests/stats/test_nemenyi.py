@@ -51,3 +51,15 @@ def test_cliques_split_when_cd_small():
 def test_rank_length_mismatch():
     with pytest.raises(ValueError):
         nemenyi_test(["a"], np.array([1.0, 2.0]), 10)
+
+
+@pytest.mark.parametrize(
+    ("k", "q_alpha"),
+    [(3, 2.343), (4, 2.569), (5, 2.728)],
+)
+def test_demsar_q_alpha_table(k, q_alpha):
+    # Demsar (2006), Table 5: critical q values at alpha = 0.05.  Pin
+    # the CD against the published constants, not our own code path.
+    n = 12
+    expected = q_alpha * np.sqrt(k * (k + 1) / (6.0 * n))
+    assert critical_difference(k, n) == pytest.approx(expected, rel=1e-3)
