@@ -19,6 +19,16 @@ a node mid-run.  The report is JSON-ready and lands under
 * ``server.shed_requests`` / ``deadline_rejected`` / ``deadline_expired``
   — the admission-control counters summed across surviving nodes.
 
+With ``tenants=True`` the soak runs multi-tenant: every node loads the
+same two-tenant registry, each worker authenticates as one of the
+tenants, and after the dust settles the report carries a per-node
+**quota-ledger audit**: the tenant registry's lifetime totals
+(``total_requests`` / ``total_bytes``) must equal the metrics ledger's
+``admitted_requests`` / ``admitted_bytes`` *byte-exactly*, per tenant,
+per surviving node — the two counters are updated under different
+locks at the same admission site, so any drift means a lost or
+double-charged admission somewhere in the failover machinery.
+
 Clients reach nodes through the proxies via ``address_overrides``; the
 supervisor's control endpoint stays unproxied so topology discovery is
 a clean control plane, as it would be in production.
@@ -164,6 +174,7 @@ def run_chaos_soak(
     attempt_timeout: float = 2.0,
     node_jobs: Optional[int] = None,
     batch_window: float = 0.002,
+    tenants: bool = False,
     on_cluster: Optional[Callable[[object], None]] = None,
 ) -> dict:
     """Run the soak; returns the JSON-ready resilience report.
@@ -175,6 +186,8 @@ def run_chaos_soak(
     ``plan`` (default: :meth:`FaultPlan.default` with ``seed``).
     ``on_cluster(supervisor)`` fires once the cluster and proxies are
     up — the hook tests use to observe the soak from the side.
+    ``tenants`` runs the whole soak authenticated (two tenants, workers
+    alternating) and audits per-node quota ledgers afterwards.
     """
     from repro.api.session import compress_array
     from repro.cluster import ClusterClient, ClusterSupervisor
@@ -197,11 +210,37 @@ def run_chaos_soak(
         array, local_codec, chunk_elements=chunk_elements
     )
 
+    tenants_file = None
+    tenant_tokens: list[tuple[str, str]] = []
+    if tenants:
+        import os
+        import tempfile
+
+        from repro.service.tenants import TenantConfig, TenantRegistry
+
+        registry = TenantRegistry()
+        tenant_tokens = [
+            ("soak-gold", "chaos-gold"),
+            ("soak-bronze", "chaos-bronze"),
+        ]
+        for priority, (tenant_id, token) in enumerate(
+            reversed(tenant_tokens)
+        ):
+            registry.add(
+                TenantConfig(tenant_id, token=token, priority=priority)
+            )
+        fd, tenants_file = tempfile.mkstemp(
+            prefix="fcbench-chaos-tenants-", suffix=".json"
+        )
+        os.close(fd)
+        registry.save(tenants_file)
+
     supervisor = ClusterSupervisor(
         nodes,
         replication=min(replication, nodes),
         jobs=node_jobs,
         batch_window=batch_window,
+        tenants=tenants_file,
     )
     supervisor.start()
     proxies: list[ChaosProxy] = []
@@ -218,12 +257,16 @@ def run_chaos_soak(
         if on_cluster is not None:
             on_cluster(supervisor)
 
-        def factory() -> ClusterClient:
+        def factory(index: int = 0) -> ClusterClient:
+            token = None
+            if tenant_tokens:
+                token = tenant_tokens[index % len(tenant_tokens)][1]
             return ClusterClient(
                 [control],
                 pool_size=1,
-                timeout=op_deadline,
+                deadline=op_deadline,
                 attempt_timeout=attempt_timeout,
+                token=token,
                 propagate_deadline=True,
                 address_overrides=overrides,
                 breaker_threshold=3,
@@ -268,12 +311,14 @@ def run_chaos_soak(
         results = [dict() for _ in range(connections)]
         barrier = threading.Barrier(connections + 1)
         stop_at = time.monotonic() + duration_seconds
+        from functools import partial
+
         threads = [
             threading.Thread(
                 target=_soak_worker,
                 args=(
-                    index, factory, array, expected_blob, codec,
-                    chunk_elements, stop_at, barrier, results[index],
+                    index, partial(factory, index), array, expected_blob,
+                    codec, chunk_elements, stop_at, barrier, results[index],
                 ),
                 daemon=True,
             )
@@ -296,13 +341,51 @@ def run_chaos_soak(
             "shed_requests": 0,
             "deadline_rejected": 0,
             "deadline_expired": 0,
+            "auth_rejected": 0,
+            "quota_rejected": 0,
         }
-        with ClusterClient([control], pool_size=1, timeout=10.0) as reporter:
-            for snapshot in reporter.stats().values():
-                resilience = snapshot.get("resilience")
-                if isinstance(resilience, dict):
+        ledger_nodes: dict[str, dict] = {}
+        ledger_mismatches: list[dict] = []
+        with ClusterClient([control], pool_size=1, deadline=10.0) as reporter:
+            for node_id, snapshot in reporter.stats().items():
+                admission = snapshot.get(
+                    "admission", snapshot.get("resilience")
+                )
+                if isinstance(admission, dict):
                     for key in server_totals:
-                        server_totals[key] += int(resilience.get(key, 0))
+                        server_totals[key] += int(admission.get(key, 0))
+                if not tenants:
+                    continue
+                # The two-ledger audit: registry lifetime totals vs the
+                # metrics admission counters, per tenant, on this node.
+                quota_rows = snapshot.get("tenancy", {}).get("tenants", {})
+                metric_rows = snapshot.get("tenants", {})
+                node_audit = {}
+                for tenant_id in quota_rows.keys() | metric_rows.keys():
+                    quota_row = quota_rows.get(tenant_id, {})
+                    metric_row = metric_rows.get(tenant_id, {})
+                    entry = {
+                        "registry_requests": int(
+                            quota_row.get("total_requests", 0)
+                        ),
+                        "registry_bytes": int(quota_row.get("total_bytes", 0)),
+                        "admitted_requests": int(
+                            metric_row.get("admitted_requests", 0)
+                        ),
+                        "admitted_bytes": int(
+                            metric_row.get("admitted_bytes", 0)
+                        ),
+                    }
+                    entry["byte_exact"] = (
+                        entry["registry_requests"] == entry["admitted_requests"]
+                        and entry["registry_bytes"] == entry["admitted_bytes"]
+                    )
+                    node_audit[tenant_id] = entry
+                    if not entry["byte_exact"]:
+                        ledger_mismatches.append(
+                            {"node": node_id, "tenant": tenant_id, **entry}
+                        )
+                ledger_nodes[node_id] = node_audit
 
         ops = sum(result.get("ops", 0) for result in results)
         successes = sum(result.get("successes", 0) for result in results)
@@ -363,6 +446,17 @@ def run_chaos_soak(
                 [result.get("resilience", {}) for result in results]
             ),
             "server": server_totals,
+            "tenancy": (
+                {
+                    "enabled": True,
+                    "tenants": [tid for tid, _ in tenant_tokens],
+                    "per_node": ledger_nodes,
+                    "byte_exact": not ledger_mismatches,
+                    "mismatches": ledger_mismatches,
+                }
+                if tenants
+                else {"enabled": False}
+            ),
         }
     finally:
         for timer in timers:
@@ -370,3 +464,10 @@ def run_chaos_soak(
         for proxy in proxies:
             proxy.stop()
         supervisor.stop()
+        if tenants_file is not None:
+            import os
+
+            try:
+                os.unlink(tenants_file)
+            except OSError:
+                pass

@@ -339,6 +339,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 flush=True,
             )
             return
+        if "online_ratio" in cell:  # a tenancy regime row
+            verdict = "beats" if cell["beats_heuristic"] else "trails"
+            print(
+                f"tenancy    {cell['regime']:<14} "
+                f"online {cell['online_ratio']:6.3f} = "
+                f"{cell['online_vs_best_fixed'] * 100:5.1f}% of best fixed "
+                f"({cell['best_fixed_arm']} {cell['best_fixed_ratio']:.3f}) "
+                f"{verdict} heuristic {cell['heuristic_ratio']:.3f}",
+                flush=True,
+            )
+            return
         if "auto_cr" in cell:
             chunks = ", ".join(
                 f"{name} x{count}"
@@ -372,6 +383,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         auto=args.auto,
         service=args.service,
         resilience=args.resilience,
+        tenancy=args.tenancy,
         seed=args.seed,
         sweep_db=args.sweep_db,
         on_cell=on_cell,
@@ -922,9 +934,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service.server import run_server
 
+    tenants = None
+    if args.tenants:
+        from repro.errors import ReproError
+        from repro.service.tenants import TenantRegistry
+
+        try:
+            tenants = TenantRegistry.load(args.tenants)
+        except (OSError, ReproError) as exc:
+            raise SystemExit(
+                f"error: bad tenants file {args.tenants!r}: {exc}"
+            ) from exc
+
+    gateways = []
+
     def on_ready(server) -> None:
         # Machine-parseable: CI greps this line for the ephemeral port.
         print(f"serving on {server.host}:{server.port}", flush=True)
+        if args.gateway_port is not None:
+            from repro.service.gateway import ObservabilityGateway
+
+            gateway = ObservabilityGateway(
+                server, host=args.host, port=args.gateway_port
+            ).start()
+            gateways.append(gateway)
+            # Machine-parseable: CI greps this line for the scrape port.
+            print(f"gateway on {gateway.host}:{gateway.port}", flush=True)
         if not args.quiet:
             print(
                 f"  jobs={server.jobs or 1} batch_max={server.batch_max} "
@@ -932,6 +967,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "gracefully)",
                 flush=True,
             )
+            if tenants is not None:
+                print(f"  tenants={len(tenants)} from {args.tenants}", flush=True)
 
     topology = None
     if args.topology_json:
@@ -946,20 +983,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"error: bad topology file {args.topology_json!r}: {exc}"
             ) from exc
 
-    metrics = run_server(
-        args.host,
-        args.port,
-        on_ready=on_ready,
-        jobs=args.jobs,
-        batch_max=args.batch_max,
-        batch_window=args.batch_window,
-        grace=args.grace,
-        max_queued_requests=args.max_queued_requests,
-        max_queued_bytes=args.max_queued_bytes,
-        shed_retry_after_ms=args.shed_retry_after_ms,
-        node_id=args.node_id,
-        topology=topology,
-    )
+    try:
+        metrics = run_server(
+            args.host,
+            args.port,
+            on_ready=on_ready,
+            jobs=args.jobs,
+            batch_max=args.batch_max,
+            batch_window=args.batch_window,
+            grace=args.grace,
+            max_queued_requests=args.max_queued_requests,
+            max_queued_bytes=args.max_queued_bytes,
+            shed_retry_after_ms=args.shed_retry_after_ms,
+            node_id=args.node_id,
+            topology=topology,
+            tenants=tenants,
+            online_seed=args.online_seed,
+        )
+    finally:
+        for gateway in gateways:
+            gateway.stop()
     snapshot = metrics.snapshot()
     if args.metrics_json:
         with open(args.metrics_json, "w") as fh:
@@ -979,7 +1022,11 @@ def _client(args: argparse.Namespace):
     from repro.service.client import ServiceClient
 
     return ServiceClient(
-        args.host, args.port, retries=args.retries, timeout=args.timeout
+        args.host,
+        args.port,
+        retry=args.retries,
+        deadline=args.timeout,
+        token=args.token,
     )
 
 
@@ -1044,6 +1091,126 @@ def _cmd_client(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# fcbench tenant (multi-tenant registry management)
+# ----------------------------------------------------------------------
+def _load_registry(path, *, must_exist: bool):
+    import os
+
+    from repro.errors import ReproError
+    from repro.service.tenants import TenantRegistry
+
+    if not os.path.exists(path):
+        if must_exist:
+            raise SystemExit(f"error: no tenants file at {path!r}")
+        return TenantRegistry()
+    try:
+        return TenantRegistry.load(path)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
+def _cmd_tenant(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.service.tenants import (
+        TenantConfig,
+        TenantRegistry,
+        generate_token,
+    )
+
+    if args.tenant_command == "create":
+        registry = _load_registry(args.file, must_exist=False)
+        token = args.token or generate_token()
+        try:
+            registry.add(
+                TenantConfig(
+                    args.tenant_id,
+                    token=token,
+                    priority=args.priority,
+                    max_bytes_per_window=args.max_bytes,
+                    max_requests_per_window=args.max_requests,
+                    window_seconds=args.window,
+                )
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        registry.save(args.file)
+        # The one moment the token is shown: it is never readable from
+        # stats or the gateway afterwards.
+        print(f"tenant {args.tenant_id!r} created in {args.file}")
+        print(f"token: {token}")
+        return 0
+
+    if args.tenant_command == "quota":
+        registry = _load_registry(args.file, must_exist=True)
+        try:
+            current = registry.get(args.tenant_id)
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        changes = {}
+        if args.priority is not None:
+            changes["priority"] = args.priority
+        if args.max_bytes is not None:
+            changes["max_bytes_per_window"] = (
+                None if args.max_bytes < 0 else args.max_bytes
+            )
+        if args.max_requests is not None:
+            changes["max_requests_per_window"] = (
+                None if args.max_requests < 0 else args.max_requests
+            )
+        if args.window is not None:
+            changes["window_seconds"] = args.window
+        if not changes:
+            raise SystemExit(
+                "error: nothing to change (pass --priority, --max-bytes, "
+                "--max-requests, or --window)"
+            )
+        # TenantConfig is frozen and the registry append-only, so a
+        # quota change rebuilds the registry with one tenant replaced.
+        updated = TenantRegistry()
+        for tenant_id in registry.tenant_ids():
+            tenant = registry.get(tenant_id)
+            if tenant_id == args.tenant_id:
+                tenant = dataclasses.replace(tenant, **changes)
+            updated.add(tenant)
+        updated.save(args.file)
+        row = updated.get(args.tenant_id).as_dict()
+        row.pop("token", None)
+        print(json.dumps({args.tenant_id: row}, indent=2, sort_keys=True))
+        return 0
+
+    if args.tenant_command == "list":
+        registry = _load_registry(args.file, must_exist=True)
+        snap = registry.snapshot()["tenants"]
+        print(json.dumps(snap, indent=2, sort_keys=True))
+        return 0
+
+    # stats: dial a live server and print its tenancy accounting
+    from repro.errors import ReproError
+    from repro.service.client import ServiceClient
+
+    try:
+        with ServiceClient(
+            args.host, args.port, deadline=args.timeout
+        ) as client:
+            stats = client.stats()
+    except ConnectionRefusedError as exc:
+        raise SystemExit(
+            f"error: no server at {args.host}:{args.port} ({exc})"
+        ) from exc
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    body = {
+        "tenancy": stats.get("tenancy", {}),
+        "tenants": stats.get("tenants", {}),
+        "online": stats.get("online", {}),
+    }
+    print(json.dumps(body, indent=2, sort_keys=True))
+    return 0
+
+
+# ----------------------------------------------------------------------
 # fcbench cluster (sharded multi-node serving)
 # ----------------------------------------------------------------------
 def _cmd_cluster_serve(args: argparse.Namespace) -> int:
@@ -1066,6 +1233,7 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             node_grace=args.grace,
             state_dir=args.state_dir,
             control_port=args.control_port,
+            tenants=args.tenants,
         )
         supervisor.start()
     except (ClusterError, OSError) as exc:
@@ -1134,7 +1302,7 @@ def _cluster_control_client(args: argparse.Namespace):
                 "(pass --port, or --state pointing at the supervisor's "
                 "cluster.json)"
             ) from exc
-    return ServiceClient(host, port, retries=0, timeout=args.timeout)
+    return ServiceClient(host, port, retry=0, deadline=args.timeout)
 
 
 def _cmd_cluster_status(args: argparse.Namespace) -> int:
@@ -1221,6 +1389,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             drain_node=args.drain,
             op_deadline=args.op_deadline,
             attempt_timeout=args.attempt_timeout,
+            tenants=args.tenants,
         )
     except (ValueError, KeyError) as exc:
         raise SystemExit(f"error: {exc}") from exc
@@ -1255,6 +1424,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         failed.append(
             f"{report['failures']['untyped']} failures outside the typed "
             f"error taxonomy: {report['untyped_examples']}"
+        )
+    if args.tenants and not report["tenancy"]["byte_exact"]:
+        failed.append(
+            "per-tenant quota ledgers drifted from the metrics ledgers: "
+            f"{report['tenancy']['mismatches']}"
         )
     if failed:
         for reason in failed:
@@ -1503,6 +1677,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the chaos soak (supervised cluster behind "
         "fault-injecting proxies, mid-run node kill) and record "
         "availability / shed / deadline-miss rates in the snapshot",
+    )
+    p_bench.add_argument(
+        "--tenancy",
+        action="store_true",
+        help="also run the multi-tenant regime-shift workload (online "
+        "selection bandit vs best fixed arm vs static heuristic, "
+        "per-tenant accounting) and record it in the snapshot",
     )
     p_bench.add_argument(
         "--sweep-db",
@@ -1826,6 +2007,26 @@ def build_parser() -> argparse.ArgumentParser:
         "cluster-topology requests (set by the cluster supervisor)",
     )
     p_serve.add_argument(
+        "--tenants",
+        default=None,
+        help="tenant registry JSON (see 'fcbench tenant create'); "
+        "enables token auth and per-tenant quotas",
+    )
+    p_serve.add_argument(
+        "--gateway-port",
+        type=int,
+        default=None,
+        help="also serve an HTTP observability gateway (/metrics, "
+        "/healthz, /tenants) on this port; 0 picks an ephemeral port",
+    )
+    p_serve.add_argument(
+        "--online-seed",
+        type=int,
+        default=0,
+        help="seed for the online selection bandit's deterministic "
+        "exploration (default %(default)s)",
+    )
+    p_serve.add_argument(
         "--quiet", action="store_true", help="address line only"
     )
     p_serve.set_defaults(func=_cmd_serve)
@@ -1849,7 +2050,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout",
         type=float,
         default=30.0,
-        help="per-socket-operation timeout (default %(default)ss)",
+        help="overall per-operation deadline in seconds "
+        "(default %(default)ss)",
+    )
+    p_client.add_argument(
+        "--token",
+        default=None,
+        help="tenant auth token for multi-tenant servers",
     )
     client_sub = p_client.add_subparsers(dest="client_command", required=True)
     c_ping = client_sub.add_parser("ping", help="round-trip liveness probe")
@@ -1874,8 +2081,9 @@ def build_parser() -> argparse.ArgumentParser:
     c_comp.add_argument(
         "--policy",
         default="heuristic",
-        choices=("heuristic", "measured", "learned"),
-        help="selection policy for --codec auto (default %(default)s)",
+        choices=("heuristic", "measured", "learned", "online"),
+        help="selection policy for --codec auto; 'online' uses the "
+        "server's per-tenant bandit (default %(default)s)",
     )
     c_comp.add_argument(
         "--chunk-elements",
@@ -1893,6 +2101,101 @@ def build_parser() -> argparse.ArgumentParser:
     c_dec.add_argument("output", help="destination .npy file")
     c_dec.add_argument("--quiet", action="store_true", help="no summary line")
     c_dec.set_defaults(func=_cmd_client)
+
+    p_tenant = sub.add_parser(
+        "tenant",
+        help="manage the multi-tenant registry (tokens, quotas, stats)",
+    )
+    tenant_sub = p_tenant.add_subparsers(dest="tenant_command", required=True)
+    t_create = tenant_sub.add_parser(
+        "create", help="add a tenant to a registry file (prints its token)"
+    )
+    t_create.add_argument("tenant_id", help="tenant identity (stable id)")
+    t_create.add_argument(
+        "--file",
+        default="tenants.json",
+        help="registry file, created if absent (default %(default)s)",
+    )
+    t_create.add_argument(
+        "--token",
+        default=None,
+        help="explicit auth token (default: generate a random one)",
+    )
+    t_create.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="batch-ordering priority; higher serves first "
+        "(default %(default)s)",
+    )
+    t_create.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="payload-byte budget per window (default: unlimited)",
+    )
+    t_create.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="request budget per window (default: unlimited)",
+    )
+    t_create.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        help="quota window in seconds (default %(default)s)",
+    )
+    t_create.set_defaults(func=_cmd_tenant)
+    t_quota = tenant_sub.add_parser(
+        "quota", help="change a tenant's quotas or priority in place"
+    )
+    t_quota.add_argument("tenant_id", help="tenant to update")
+    t_quota.add_argument(
+        "--file", default="tenants.json", help="registry file"
+    )
+    t_quota.add_argument("--priority", type=int, default=None)
+    t_quota.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="payload-byte budget per window; -1 = unlimited",
+    )
+    t_quota.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="request budget per window; -1 = unlimited",
+    )
+    t_quota.add_argument(
+        "--window", type=float, default=None, help="quota window seconds"
+    )
+    t_quota.set_defaults(func=_cmd_tenant)
+    t_list = tenant_sub.add_parser(
+        "list", help="print a registry file's tenants (tokens redacted)"
+    )
+    t_list.add_argument(
+        "--file", default="tenants.json", help="registry file"
+    )
+    t_list.set_defaults(func=_cmd_tenant)
+    t_stats = tenant_sub.add_parser(
+        "stats",
+        help="print a live server's per-tenant accounting "
+        "(quota windows, serving counters, bandit arms)",
+    )
+    t_stats.add_argument(
+        "--host", default="127.0.0.1", help="server address (default %(default)s)"
+    )
+    t_stats.add_argument(
+        "--port", type=int, default=8765, help="server port (default %(default)s)"
+    )
+    t_stats.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="overall deadline in seconds (default %(default)ss)",
+    )
+    t_stats.set_defaults(func=_cmd_tenant)
 
     p_cluster = sub.add_parser(
         "cluster",
@@ -1970,6 +2273,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for the state file, topology file, and node "
         "logs (default: a fresh temp directory)",
+    )
+    cl_serve.add_argument(
+        "--tenants",
+        default=None,
+        help="tenant registry JSON forwarded to every node "
+        "(see 'fcbench tenant create')",
     )
     cl_serve.add_argument(
         "--quiet", action="store_true", help="address lines only"
@@ -2080,6 +2389,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--attempt-timeout", type=float, default=2.0,
         help="per-node attempt timeout, seconds (default %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--tenants", action="store_true",
+        help="run the soak multi-tenant (token auth on every node) and "
+        "audit per-node quota ledgers for byte-exactness afterwards",
     )
     p_chaos.add_argument(
         "--min-availability", type=float, default=0.99,

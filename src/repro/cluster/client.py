@@ -41,12 +41,17 @@ import time
 import numpy as np
 
 from repro.api.frames import DEFAULT_CHUNK_ELEMENTS
+from repro.client import CompressionClient, deprecated_kwarg
 from repro.cluster.ring import HashRing
 from repro.errors import ClusterError, ProtocolError, ServerOverloadedError
 from repro.service.client import DEFAULT_CODEC, ServiceClient
 from repro.service.resilience import CircuitBreaker, Deadline, RetryPolicy
 
-__all__ = ["ClusterClient", "parse_seed"]
+__all__ = ["ClusterClient", "parse_seed", "DEFAULT_STREAM_ID"]
+
+#: Stream id used by the topology-agnostic ``compress_array`` surface
+#: when the caller has no stream identity to route by.
+DEFAULT_STREAM_ID = "_unkeyed"
 
 #: Node states a request may be routed to.  ``draining`` nodes finish
 #: their in-flight work but take no new requests; ``down`` nodes are
@@ -71,7 +76,7 @@ def parse_seed(seed) -> tuple[str, int]:
     return str(host), int(port)
 
 
-class ClusterClient:
+class ClusterClient(CompressionClient):
     """Route compress/decompress requests across a compression cluster.
 
     Parameters
@@ -83,18 +88,23 @@ class ClusterClient:
     replication:
         Override the topology's replication factor (rarely needed —
         the supervisor publishes the authoritative value).
-    pool_size, timeout, max_payload:
+    pool_size, deadline, max_payload:
         Per-shard :class:`ServiceClient` knobs.  Per-node retries are
-        disabled (``retries=0``): the cluster layer owns retry policy,
+        disabled (``retry=0``): the cluster layer owns retry policy,
         and its retry is the next replica, not the same dead node.
-        ``timeout`` is the *overall operation deadline*: both failover
+        ``deadline`` is the *overall operation budget*: both failover
         passes, the topology refresh between them, and every backoff
         sleep spend from the same budget, so a full-set failure cannot
-        stretch an operation past it.
+        stretch an operation past it.  (Formerly spelled ``timeout=``;
+        the old keyword still works with a :class:`DeprecationWarning`
+        for one release.)
     attempt_timeout:
         Cap on one node attempt's socket operations.  Defaults to
-        ``timeout``; set it lower so a slow replica leaves budget for
+        ``deadline``; set it lower so a slow replica leaves budget for
         its siblings.
+    token:
+        Tenant auth token forwarded on every per-shard request —
+        required when the cluster's nodes run with tenant registries.
     retry_policy:
         The shared :class:`~repro.service.resilience.RetryPolicy`
         pacing the refresh pass (its ``delay(0)`` separates the two
@@ -123,14 +133,16 @@ class ClusterClient:
         *,
         replication: int | None = None,
         pool_size: int = 2,
-        timeout: float = 30.0,
+        deadline: float | None = None,
         max_payload: int | None = None,
         attempt_timeout: float | None = None,
+        token: str | None = None,
         retry_policy: RetryPolicy | None = None,
         breaker_threshold: int = 5,
         breaker_reset: float = 2.5,
         propagate_deadline: bool = False,
         address_overrides: dict | None = None,
+        timeout: float | None = None,
     ) -> None:
         self.seeds = [parse_seed(seed) for seed in seeds]
         if not self.seeds:
@@ -139,12 +151,14 @@ class ClusterClient:
             raise ValueError("replication must be positive")
         self._replication_override = replication
         self.pool_size = int(pool_size)
-        self.timeout = float(timeout)
+        deadline = deprecated_kwarg("timeout", "deadline", timeout, deadline)
+        self.deadline = float(30.0 if deadline is None else deadline)
         self.max_payload = max_payload
         self.attempt_timeout = (
             float(attempt_timeout) if attempt_timeout is not None
-            else self.timeout
+            else self.deadline
         )
+        self.token = token
         self.retry_policy = (
             retry_policy if retry_policy is not None
             else RetryPolicy(max_attempts=2)
@@ -168,6 +182,11 @@ class ClusterClient:
         self._refreshes = 0
         self._closed = False
         self.refresh()
+
+    @property
+    def timeout(self) -> float:
+        """Deprecated alias of :attr:`deadline` (kept for one release)."""
+        return self.deadline
 
     # -- topology ------------------------------------------------------
     def _bootstrap_addresses(self) -> list[tuple[str, int]]:
@@ -206,8 +225,9 @@ class ClusterClient:
                 dial_host,
                 dial_port,
                 pool_size=1,
-                retries=0,
-                timeout=self.timeout,
+                retry=0,
+                deadline=self.deadline,
+                token=self.token,
                 **(
                     {"max_payload": self.max_payload}
                     if self.max_payload is not None
@@ -281,8 +301,9 @@ class ClusterClient:
                     dial_host,
                     dial_port,
                     pool_size=self.pool_size,
-                    retries=0,
-                    timeout=self.attempt_timeout,
+                    retry=0,
+                    deadline=self.attempt_timeout,
+                    token=self.token,
                     propagate_deadline=self.propagate_deadline,
                     **(
                         {"max_payload": self.max_payload}
@@ -317,13 +338,14 @@ class ClusterClient:
             f"{node}: {type(exc).__name__}: {exc}" for node, exc in failures
         )
 
-    def _execute(self, stream_id: str, op):
+    def _execute(self, stream_id: str, op, deadline=None):
         """Run ``op(client, deadline)`` on the replica set with failover.
 
-        One :class:`Deadline` (the client's ``timeout``) spans the
-        whole walk: both passes, the topology refresh between them, and
-        the pacing sleep all spend from it, so a full-set failure
-        surfaces within the caller's budget instead of doubling it.
+        One :class:`Deadline` (the client's ``deadline``, or the
+        per-call override) spans the whole walk: both passes, the
+        topology refresh between them, and the pacing sleep all spend
+        from it, so a full-set failure surfaces within the caller's
+        budget instead of doubling it.
 
         Pass order per replica: the circuit breaker is consulted first
         (a tripped node is skipped without paying a connect timeout),
@@ -336,7 +358,10 @@ class ClusterClient:
         fails over to the next replica but is *not* a breaker strike —
         a shedding node is alive, just busy.
         """
-        deadline = Deadline.after(self.timeout)
+        if not isinstance(deadline, Deadline):
+            deadline = Deadline.after(
+                self.deadline if deadline is None else deadline
+            )
         failures: list[tuple[str, Exception]] = []
         for attempt in range(2):
             replicas = self.nodes_for(stream_id)
@@ -416,6 +441,7 @@ class ClusterClient:
         *,
         chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
         policy: str = "heuristic",
+        deadline=None,
     ) -> bytes:
         """Compress ``array`` on ``stream_id``'s shard.
 
@@ -433,9 +459,10 @@ class ClusterClient:
                 policy=policy,
                 deadline=deadline,
             ),
+            deadline,
         )
 
-    def decompress_stream(self, stream_id: str, blob) -> np.ndarray:
+    def decompress_stream(self, stream_id: str, blob, *, deadline=None) -> np.ndarray:
         """Decompress ``blob`` on ``stream_id``'s shard."""
         blob = bytes(blob)
         return self._execute(
@@ -443,6 +470,7 @@ class ClusterClient:
             lambda client, deadline: client.decompress_array(
                 blob, deadline=deadline
             ),
+            deadline,
         )
 
     def select_explain_stream(
@@ -452,6 +480,7 @@ class ClusterClient:
         *,
         policy: str = "heuristic",
         chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+        deadline=None,
     ) -> dict:
         """Per-chunk selection decisions from ``stream_id``'s shard."""
         array = np.asarray(array)
@@ -463,6 +492,56 @@ class ClusterClient:
                 chunk_elements=chunk_elements,
                 deadline=deadline,
             ),
+            deadline,
+        )
+
+    # -- drop-in CompressionClient surface -----------------------------
+    # The stream-less spellings a ServiceClient caller already uses:
+    # routing falls back to a fixed stream id (or an explicit
+    # ``stream_id=`` option), so code written against the ABC runs
+    # against one server or a cluster unchanged.
+    def compress_array(
+        self,
+        array,
+        codec: str = DEFAULT_CODEC,
+        *,
+        stream_id: str = DEFAULT_STREAM_ID,
+        chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+        policy: str = "heuristic",
+        deadline=None,
+    ) -> bytes:
+        """Cluster spelling of :meth:`ServiceClient.compress_array`."""
+        return self.compress_stream(
+            stream_id,
+            array,
+            codec,
+            chunk_elements=chunk_elements,
+            policy=policy,
+            deadline=deadline,
+        )
+
+    def decompress_array(
+        self, blob, *, stream_id: str = DEFAULT_STREAM_ID, deadline=None
+    ) -> np.ndarray:
+        """Cluster spelling of :meth:`ServiceClient.decompress_array`."""
+        return self.decompress_stream(stream_id, blob, deadline=deadline)
+
+    def select_explain(
+        self,
+        array,
+        *,
+        stream_id: str = DEFAULT_STREAM_ID,
+        policy: str = "heuristic",
+        chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+        deadline=None,
+    ) -> dict:
+        """Cluster spelling of :meth:`ServiceClient.select_explain`."""
+        return self.select_explain_stream(
+            stream_id,
+            array,
+            policy=policy,
+            chunk_elements=chunk_elements,
+            deadline=deadline,
         )
 
     # -- cluster-wide probes -------------------------------------------

@@ -124,6 +124,10 @@ class ClusterSupervisor:
     state_dir:
         Where the state file, topology file, and per-node logs live;
         a temp directory is created (and owned) when omitted.
+    tenants:
+        Path to a tenant registry JSON file forwarded to every node's
+        ``fcbench serve --tenants`` — all nodes authenticate against
+        the same tenant set, and each enforces quotas locally.
     control_host, control_port:
         Bind address of the control endpoint (port 0 = ephemeral).
     """
@@ -144,6 +148,7 @@ class ClusterSupervisor:
         state_dir: str | os.PathLike | None = None,
         control_host: str | None = None,
         control_port: int = 0,
+        tenants: str | os.PathLike | None = None,
     ) -> None:
         if isinstance(nodes, int):
             if nodes < 1:
@@ -167,6 +172,10 @@ class ClusterSupervisor:
         self.node_grace = float(node_grace)
         self.control_host = control_host if control_host is not None else host
         self.control_port = int(control_port)
+        # Resolved now: node processes run with cwd=state_dir.
+        self.tenants_path = (
+            Path(tenants).resolve() if tenants is not None else None
+        )
         self._owns_state_dir = state_dir is None
         # Absolute: node processes run with cwd=state_dir and receive
         # the topology path on their command line — a relative path
@@ -274,6 +283,8 @@ class ClusterSupervisor:
         ]
         if self.jobs is not None:
             cmd += ["--jobs", str(self.jobs)]
+        if self.tenants_path is not None:
+            cmd += ["--tenants", str(self.tenants_path)]
         return cmd
 
     def _node_env(self) -> dict:
@@ -323,7 +334,7 @@ class ClusterSupervisor:
 
     def _probe(self, spec: NodeSpec, timeout: float = 2.0) -> dict | None:
         client = ServiceClient(
-            spec.host, spec.port, pool_size=1, retries=0, timeout=timeout
+            spec.host, spec.port, pool_size=1, retry=0, deadline=timeout
         )
         try:
             return client.health()

@@ -6,6 +6,26 @@ callers can catch library failures without masking programming errors.
 
 from __future__ import annotations
 
+__all__ = [
+    "AuthenticationError",
+    "ClusterError",
+    "CorruptStreamError",
+    "DatasetError",
+    "DeadlineExceededError",
+    "ExperimentError",
+    "InputTooLargeError",
+    "PrecisionError",
+    "ProtocolError",
+    "QuotaExceededError",
+    "ReproError",
+    "SelectionError",
+    "ServerOverloadedError",
+    "ServiceError",
+    "StorageError",
+    "StreamClosedError",
+    "UnsupportedDtypeError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
@@ -103,6 +123,34 @@ class ServerOverloadedError(ServiceError):
     Attributes:
         retry_after_ms: server's hint for how long to back off, or
             ``None`` when the server did not provide one.
+    """
+
+    def __init__(self, message: str, retry_after_ms: int | None = None):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class AuthenticationError(ServiceError):
+    """A multi-tenant server rejected the request's tenant credentials.
+
+    Raised when a server running with a tenant registry receives a
+    request whose token is missing or unknown.  Never retried by the
+    clients: credentials do not get better by asking again.
+    """
+
+
+class QuotaExceededError(ServiceError):
+    """The request's tenant is over its byte or request budget.
+
+    Deliberately *not* a :class:`ServerOverloadedError`: an overload is
+    a property of the server (retry and it may fit), while a quota
+    rejection is a property of the tenant's budget window, so clients
+    must not burn retries on it — a zero-quota tenant would livelock.
+
+    Attributes:
+        retry_after_ms: milliseconds until the tenant's budget window
+            resets, or ``None`` when the budget can never admit the
+            request (e.g. a zero-quota tenant).
     """
 
     def __init__(self, message: str, retry_after_ms: int | None = None):

@@ -249,6 +249,7 @@ def run_bench(
     auto: bool = False,
     service: bool = False,
     resilience: bool = False,
+    tenancy: bool = False,
     seed: int = 0,
     sweep_db: str | Path | None = None,
     on_cell: Callable[[dict], None] | None = None,
@@ -321,6 +322,17 @@ def run_bench(
 
         report.setdefault("service", {})["resilience"] = run_chaos_soak(
             seed=seed
+        )
+    if tenancy:
+        # Multi-tenant regime-shift workload: the online selection
+        # bandit versus every fixed arm and the static heuristic, over
+        # the wire with per-tenant accounting (see repro/perf/tenancy.
+        # py).  Snapshots the feedback loop's convergence per commit.
+        from repro.perf.tenancy import run_tenancy_bench
+
+        report.setdefault("service", {})["tenancy"] = run_tenancy_bench(
+            seed=seed,
+            on_result=on_cell if on_cell is not None else None,
         )
     if sweep_db is not None:
         # Fold the experiment database's statistical summary (counts,

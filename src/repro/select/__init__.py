@@ -10,6 +10,9 @@ from cheap chunk statistics.
 * :mod:`repro.select.features` — deterministic per-chunk statistics,
 * :mod:`repro.select.policy` — ``heuristic`` / ``measured`` /
   ``learned`` selection policies,
+* :mod:`repro.select.online` — the ``online`` bandit policy that keeps
+  learning from served outcomes (the multi-tenant server's feedback
+  loop),
 * :mod:`repro.select.train` — fit the learned policy from the suite
   cache (``fcbench select train``).
 
@@ -23,6 +26,11 @@ from repro.select.features import (
     FEATURE_SAMPLE_ELEMENTS,
     ChunkFeatures,
     extract_features,
+)
+from repro.select.online import (
+    OnlinePolicy,
+    OnlineSelectorHub,
+    feature_bucket,
 )
 from repro.select.policy import (
     DEFAULT_CANDIDATES,
@@ -56,9 +64,12 @@ __all__ = [
     "HeuristicPolicy",
     "LearnedPolicy",
     "MeasuredPolicy",
+    "OnlinePolicy",
+    "OnlineSelectorHub",
     "SelectionDecision",
     "SelectionPolicy",
     "codec_instance",
+    "feature_bucket",
     "pick_smallest",
     "resolve_policy",
     "TableRow",

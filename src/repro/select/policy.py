@@ -56,7 +56,7 @@ __all__ = [
 #: reproduction's corpus).
 DEFAULT_CANDIDATES = profile_candidates("storage")
 
-POLICY_NAMES = ("heuristic", "measured", "learned")
+POLICY_NAMES = ("heuristic", "measured", "learned", "online")
 
 
 @lru_cache(maxsize=None)
@@ -334,6 +334,10 @@ def resolve_policy(policy, **options) -> SelectionPolicy:
         from repro.select.train import load_policy
 
         return load_policy(options.pop("table_path", None), **options)
+    if policy == "online":
+        from repro.select.online import OnlinePolicy
+
+        return OnlinePolicy(**options)
     raise SelectionError(
         f"unknown selection policy {policy!r}; known: {', '.join(POLICY_NAMES)}"
     )

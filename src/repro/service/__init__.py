@@ -6,9 +6,12 @@ multi-client TCP service: a length-prefixed binary wire protocol
 backpressure, request batching, and graceful drain
 (:mod:`repro.service.server`), sync and async client libraries
 (:mod:`repro.service.client`), request/latency metrics
-(:mod:`repro.service.metrics`), and the resilience primitives —
+(:mod:`repro.service.metrics`), the resilience primitives —
 deadlines, retry policies and budgets, circuit breakers — the clients
-compose around their transports (:mod:`repro.service.resilience`).
+compose around their transports (:mod:`repro.service.resilience`),
+per-tenant authentication and quota admission
+(:mod:`repro.service.tenants`), and an HTTP observability gateway
+serving Prometheus metrics (:mod:`repro.service.gateway`).
 
 Compressed payloads cross the wire as FCF streams verbatim, so a served
 round trip is byte-identical to a local ``compress_array`` /
@@ -22,6 +25,7 @@ from repro.service.client import (
     AsyncServiceClient,
     ServiceClient,
 )
+from repro.service.gateway import ObservabilityGateway, render_prometheus
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.protocol import (
     DEFAULT_MAX_PAYLOAD,
@@ -43,6 +47,11 @@ from repro.service.server import (
     run_server,
     serve_background,
 )
+from repro.service.tenants import (
+    TenantConfig,
+    TenantRegistry,
+    generate_token,
+)
 
 __all__ = [
     "AsyncServiceClient",
@@ -55,13 +64,18 @@ __all__ = [
     "FrameParser",
     "LatencyHistogram",
     "MAGIC",
+    "ObservabilityGateway",
     "PROTOCOL_VERSION",
     "RetryBudget",
     "RetryPolicy",
     "ServerHandle",
     "ServiceClient",
     "ServiceMetrics",
+    "TenantConfig",
+    "TenantRegistry",
     "encode_frame",
+    "generate_token",
+    "render_prometheus",
     "run_server",
     "serve_background",
 ]

@@ -35,6 +35,7 @@ import time
 import numpy as np
 
 from repro.api.frames import DEFAULT_CHUNK_ELEMENTS
+from repro.client import CompressionClient, deprecated_kwarg
 from repro.errors import ProtocolError, ServerOverloadedError
 from repro.service import protocol
 from repro.service.resilience import Deadline, RetryBudget, RetryPolicy
@@ -80,10 +81,12 @@ class _Connection:
         timeout: float,
         deadline: Deadline | None = None,
         deadline_ms: int | None = None,
+        tenant_token: str | None = None,
     ) -> Frame:
         """One round trip.  ``timeout`` caps each socket operation;
         ``deadline`` (when given) additionally caps the *whole* wait,
-        and ``deadline_ms`` rides on the wire for the server to enforce.
+        and ``deadline_ms`` / ``tenant_token`` ride on the wire for the
+        server to enforce.
         """
         if deadline is not None:
             remaining = deadline.remaining()
@@ -93,7 +96,13 @@ class _Connection:
         else:
             self.sock.settimeout(timeout)
         self.sock.sendall(
-            encode_frame(frame_type, request_id, payload, deadline_ms)
+            encode_frame(
+                frame_type,
+                request_id,
+                payload,
+                deadline_ms,
+                tenant_token=tenant_token,
+            )
         )
         while True:
             if deadline is not None:
@@ -138,7 +147,7 @@ def _check_response(frame: Frame, frame_type: int, request_id: int) -> Frame:
     return frame
 
 
-class ServiceClient:
+class ServiceClient(CompressionClient):
     """Synchronous client with connection pooling and retries.
 
     Parameters
@@ -150,19 +159,29 @@ class ServiceClient:
         checks one out (or dials a new one) and returns it afterwards,
         so the client is safe to share across threads — concurrent
         requests simply use distinct connections.
-    retries:
+    retry:
         Transparent re-dials after a transient transport failure
         (connection reset, broken pipe).  Requests are idempotent pure
         functions, so replaying one is always safe.  Shorthand for a
         default :class:`~repro.service.resilience.RetryPolicy` with
-        ``retries + 1`` attempts; ignored when ``retry_policy`` is
-        given.
-    timeout:
-        The *overall operation deadline* in seconds: one budget that
-        every attempt, backoff sleep, and re-dial spends from.  It also
-        caps each individual socket operation, so the previous
-        per-socket-timeout behavior is an upper bound, never exceeded.
-        A per-call ``deadline=`` argument overrides it per request.
+        ``retry + 1`` attempts; ignored when ``retry_policy`` is
+        given.  (Formerly spelled ``retries=``; the old keyword still
+        works with a :class:`DeprecationWarning` for one release.)
+    deadline:
+        The *overall operation budget* in seconds: one budget that
+        every attempt, backoff sleep, and re-dial spends from.  A
+        per-call ``deadline=`` argument overrides it per request.
+        (Formerly spelled ``timeout=``; the old keyword still works
+        with a :class:`DeprecationWarning` for one release.)
+    attempt_timeout:
+        Cap on each individual socket operation (connect, send, recv).
+        Defaults to ``deadline``, preserving the historical behavior
+        where one knob served both roles.
+    token:
+        Tenant auth token carried on every request frame
+        (``FLAG_TENANT``) — required when the server runs with a
+        tenant registry, ignored otherwise.  ``None`` sends unflagged
+        frames, parseable by any server version.
     retry_policy:
         Backoff schedule shared with the cluster client; see
         :class:`~repro.service.resilience.RetryPolicy`.
@@ -179,8 +198,10 @@ class ServiceClient:
     Retry semantics: transient transport faults and typed
     ``ServerOverloadedError`` sheds are retried (the latter honoring
     the server's retry-after hint); ``TimeoutError``, typed data errors
-    (``CorruptStreamError`` …), ``DeadlineExceededError``, and
-    ``ProtocolError`` never are.
+    (``CorruptStreamError`` …), ``DeadlineExceededError``,
+    ``AuthenticationError``, ``QuotaExceededError``, and
+    ``ProtocolError`` never are — credentials and budgets do not get
+    better by asking again.
     """
 
     def __init__(
@@ -189,32 +210,49 @@ class ServiceClient:
         port: int,
         *,
         pool_size: int = 2,
-        retries: int = 1,
-        timeout: float = 30.0,
+        retry: int | None = None,
+        deadline: float | None = None,
+        attempt_timeout: float | None = None,
+        token: str | None = None,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
         retry_policy: RetryPolicy | None = None,
         retry_budget: RetryBudget | None = None,
         propagate_deadline: bool = False,
+        retries: int | None = None,
+        timeout: float | None = None,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be positive")
+        retry = deprecated_kwarg("retries", "retry", retries, retry)
+        deadline = deprecated_kwarg("timeout", "deadline", timeout, deadline)
+        retry = 1 if retry is None else retry
+        deadline = 30.0 if deadline is None else deadline
         self.host = host
         self.port = int(port)
         self.pool_size = int(pool_size)
         if retry_policy is None:
-            retry_policy = RetryPolicy(max_attempts=max(0, int(retries)) + 1)
+            retry_policy = RetryPolicy(max_attempts=max(0, int(retry)) + 1)
         self.retry_policy = retry_policy
         self.retries = retry_policy.max_attempts - 1
         self.retry_budget = (
             retry_budget if retry_budget is not None else RetryBudget()
         )
         self.propagate_deadline = bool(propagate_deadline)
-        self.timeout = float(timeout)
+        self.token = token
+        self.deadline = float(deadline)
+        self.attempt_timeout = float(
+            deadline if attempt_timeout is None else attempt_timeout
+        )
         self.max_payload = int(max_payload)
         self._pool: list[_Connection] = []
         self._lock = threading.Lock()
         self._next_id = 0
         self._closed = False
+
+    @property
+    def timeout(self) -> float:
+        """Deprecated alias of :attr:`deadline` (kept for one release)."""
+        return self.deadline
 
     # -- pooling -------------------------------------------------------
     def _checkout(self, connect_timeout: float | None = None) -> _Connection:
@@ -226,7 +264,7 @@ class ServiceClient:
         return _Connection(
             self.host,
             self.port,
-            self.timeout if connect_timeout is None else connect_timeout,
+            self.attempt_timeout if connect_timeout is None else connect_timeout,
             self.max_payload,
         )
 
@@ -245,7 +283,7 @@ class ServiceClient:
     def _resolve_deadline(self, deadline) -> Deadline:
         if isinstance(deadline, Deadline):
             return deadline
-        return Deadline.after(self.timeout if deadline is None else deadline)
+        return Deadline.after(self.deadline if deadline is None else deadline)
 
     def _may_retry(self, attempts: int, deadline: Deadline) -> bool:
         """Common gate for every retry: attempts, budget, and deadline."""
@@ -268,7 +306,7 @@ class ServiceClient:
             conn: _Connection | None = None
             kept = False
             try:
-                connect_timeout = op_deadline.clamp(self.timeout)
+                connect_timeout = op_deadline.clamp(self.attempt_timeout)
                 if connect_timeout <= 0:
                     raise TimeoutError(
                         f"operation deadline expired after {attempts - 1} "
@@ -284,9 +322,10 @@ class ServiceClient:
                     frame_type,
                     request_id,
                     payload,
-                    timeout=self.timeout,
+                    timeout=self.attempt_timeout,
                     deadline=op_deadline,
                     deadline_ms=deadline_ms,
+                    tenant_token=self.token,
                 )
                 self._checkin(conn)
                 kept = True
@@ -440,13 +479,19 @@ class AsyncServiceClient:
     """
 
     def __init__(
-        self, reader, writer, *, max_payload: int = DEFAULT_MAX_PAYLOAD
+        self,
+        reader,
+        writer,
+        *,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+        token: str | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._parser = FrameParser(max_payload)
         self._next_id = 0
         self._lock = asyncio.Lock()
+        self.token = token
 
     @classmethod
     async def connect(
@@ -454,19 +499,32 @@ class AsyncServiceClient:
         host: str,
         port: int,
         *,
-        timeout: float = 30.0,
+        attempt_timeout: float | None = None,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
+        token: str | None = None,
+        timeout: float | None = None,
     ) -> "AsyncServiceClient":
-        reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(host, port), timeout
+        attempt_timeout = deprecated_kwarg(
+            "timeout", "attempt_timeout", timeout, attempt_timeout
         )
-        return cls(reader, writer, max_payload=max_payload)
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port),
+            30.0 if attempt_timeout is None else attempt_timeout,
+        )
+        return cls(reader, writer, max_payload=max_payload, token=token)
 
     async def _request(self, frame_type: int, payload: bytes) -> Frame:
         async with self._lock:  # one in-flight request per connection
             self._next_id += 1
             request_id = self._next_id
-            self._writer.write(encode_frame(frame_type, request_id, payload))
+            self._writer.write(
+                encode_frame(
+                    frame_type,
+                    request_id,
+                    payload,
+                    tenant_token=self.token,
+                )
+            )
             await self._writer.drain()
             while True:
                 data = await self._reader.read(1 << 16)

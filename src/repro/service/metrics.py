@@ -3,8 +3,14 @@
 The server records every request into a :class:`ServiceMetrics`
 instance; a ``stats`` protocol request (and ``fcbench serve
 --metrics-json``) serves :meth:`ServiceMetrics.snapshot`, a JSON-ready
-dict with per-operation counts, per-codec byte totals, and
-p50/p95/p99 latency estimates.
+dict with per-operation counts, per-codec byte totals, per-tenant
+request/byte/rejection counters, and p50/p95/p99 latency estimates.
+
+Snapshot naming contract: admission-control counters live under the
+canonical ``admission`` key; the historical ``resilience`` spelling is
+kept as a deprecated alias for one release (it carries only the keys
+it always had, so old dashboards keep working while new counters land
+under ``admission`` alone).
 
 Latencies go into a fixed log-spaced :class:`LatencyHistogram` rather
 than a sample list, so a server that has handled a hundred million
@@ -105,6 +111,10 @@ class ServiceMetrics:
         self.deadline_rejected = 0
         #: queued requests discarded because their budget lapsed waiting.
         self.deadline_expired = 0
+        #: requests rejected for a missing/unknown tenant token.
+        self.auth_rejected = 0
+        #: requests rejected because the tenant was over budget.
+        self.quota_rejected = 0
         #: per request-op counters: {"compress": {"requests": n, "errors": n}}
         self.ops: dict[str, dict[str, int]] = defaultdict(
             lambda: {"requests": 0, "errors": 0}
@@ -114,6 +124,22 @@ class ServiceMetrics:
             lambda: {"requests": 0, "bytes_in": 0, "bytes_out": 0}
         )
         self._latency: dict[str, LatencyHistogram] = defaultdict(LatencyHistogram)
+        #: per tenant-id serving counters (admissions, bytes, rejections).
+        self.tenants: dict[str, dict[str, int]] = defaultdict(
+            lambda: {
+                "requests": 0,
+                "errors": 0,
+                "bytes_in": 0,
+                "bytes_out": 0,
+                "admitted_requests": 0,
+                "admitted_bytes": 0,
+                "auth_rejected": 0,
+                "quota_rejected": 0,
+            }
+        )
+        self._tenant_latency: dict[str, LatencyHistogram] = defaultdict(
+            LatencyHistogram
+        )
 
     # -- recording -----------------------------------------------------
     def connection_opened(self) -> None:
@@ -139,6 +165,7 @@ class ServiceMetrics:
         codec: str | None = None,
         bytes_in: int = 0,
         bytes_out: int = 0,
+        tenant: str | None = None,
     ) -> None:
         with self._lock:
             entry = self.ops[op]
@@ -151,6 +178,14 @@ class ServiceMetrics:
                 stats["requests"] += 1
                 stats["bytes_in"] += int(bytes_in)
                 stats["bytes_out"] += int(bytes_out)
+            if tenant is not None:
+                row = self.tenants[tenant]
+                row["requests"] += 1
+                if not ok:
+                    row["errors"] += 1
+                row["bytes_in"] += int(bytes_in)
+                row["bytes_out"] += int(bytes_out)
+                self._tenant_latency[tenant].record(seconds)
 
     def record_protocol_error(self) -> None:
         with self._lock:
@@ -167,6 +202,31 @@ class ServiceMetrics:
     def record_deadline_expired(self) -> None:
         with self._lock:
             self.deadline_expired += 1
+
+    def record_tenant_admitted(self, tenant: str, nbytes: int) -> None:
+        """Ledger twin of the quota registry's charge.
+
+        Called at the exact admission point where
+        :meth:`~repro.service.tenants.TenantRegistry.check_quota`
+        charged the tenant's window, so the registry's lifetime totals
+        and this counter must agree byte-exactly — the invariant the
+        chaos soak asserts across failover.
+        """
+        with self._lock:
+            row = self.tenants[tenant]
+            row["admitted_requests"] += 1
+            row["admitted_bytes"] += int(nbytes)
+
+    def record_auth_rejected(self, tenant: str | None = None) -> None:
+        with self._lock:
+            self.auth_rejected += 1
+            if tenant is not None:
+                self.tenants[tenant]["auth_rejected"] += 1
+
+    def record_quota_rejected(self, tenant: str) -> None:
+        with self._lock:
+            self.quota_rejected += 1
+            self.tenants[tenant]["quota_rejected"] += 1
 
     # -- reading -------------------------------------------------------
     def snapshot(self) -> dict:
@@ -193,10 +253,26 @@ class ServiceMetrics:
                         else 0.0
                     ),
                 },
+                "admission": {
+                    "shed_requests": self.shed_requests,
+                    "deadline_rejected": self.deadline_rejected,
+                    "deadline_expired": self.deadline_expired,
+                    "auth_rejected": self.auth_rejected,
+                    "quota_rejected": self.quota_rejected,
+                },
+                # Deprecated alias (one release): the pre-tenancy
+                # spelling, frozen at the keys it always had.
                 "resilience": {
                     "shed_requests": self.shed_requests,
                     "deadline_rejected": self.deadline_rejected,
                     "deadline_expired": self.deadline_expired,
+                },
+                "tenants": {
+                    tenant: {
+                        **row,
+                        "latency": self._tenant_latency[tenant].snapshot(),
+                    }
+                    for tenant, row in sorted(self.tenants.items())
                 },
                 "ops": {
                     op: {**counts, "latency": self._latency[op].snapshot()}

@@ -47,9 +47,11 @@ import numpy as np
 
 from repro.encodings.varint import encode_uvarint
 from repro.errors import (
+    AuthenticationError,
     CorruptStreamError,
     DeadlineExceededError,
     ProtocolError,
+    QuotaExceededError,
     SelectionError,
     ServerOverloadedError,
     ServiceError,
@@ -73,6 +75,8 @@ __all__ = [
     "RESPONSE_BIT",
     "FLAG_BIT",
     "FLAG_DEADLINE",
+    "FLAG_TENANT",
+    "MAX_TOKEN_BYTES",
     "REQUEST_TYPES",
     "NODE_STATES",
     "CONTROL_ACTIONS",
@@ -85,12 +89,15 @@ __all__ = [
     "ERR_INTERNAL",
     "ERR_DEADLINE",
     "ERR_OVERLOADED",
+    "ERR_UNAUTHENTICATED",
+    "ERR_QUOTA",
     "Frame",
     "FrameParser",
     "encode_frame",
     "response_type",
     "encode_compress_request",
     "decode_compress_request",
+    "peek_compress_request",
     "encode_array",
     "decode_array",
     "encode_explain_request",
@@ -105,6 +112,7 @@ __all__ = [
     "encode_error",
     "decode_error",
     "encode_overload_error",
+    "encode_quota_error",
     "error_code_for",
     "raise_for_error",
 ]
@@ -147,7 +155,12 @@ RESPONSE_BIT = 0x80
 FLAG_BIT = 0x40
 #: Flag: the header carries a deadline budget (whole ms, uvarint).
 FLAG_DEADLINE = 0x01
-_KNOWN_FLAGS = FLAG_DEADLINE
+#: Flag: the header carries a tenant auth token (uvarint length +
+#: UTF-8 bytes), placed after the deadline budget when both ride.
+FLAG_TENANT = 0x02
+_KNOWN_FLAGS = FLAG_DEADLINE | FLAG_TENANT
+#: Upper bound on one tenant token's encoded length.
+MAX_TOKEN_BYTES = 128
 #: Typed failure response (any request may answer with it).
 ERROR = 0xFF
 
@@ -176,6 +189,13 @@ ERR_DEADLINE = 8
 #: ``retry_after_ms`` hint (old clients degrade to a plain ServiceError
 #: whose message happens to be that JSON).
 ERR_OVERLOADED = 9
+#: A multi-tenant server did not recognize the request's tenant token
+#: (or the request carried none).  Never retried.
+ERR_UNAUTHENTICATED = 10
+#: The tenant is over its byte/request budget for the current window;
+#: the message is the same JSON envelope ``ERR_OVERLOADED`` uses, whose
+#: ``retry_after_ms`` points at the window reset.
+ERR_QUOTA = 11
 
 _ERROR_EXCEPTIONS = {
     ERR_PROTOCOL: ProtocolError,
@@ -187,6 +207,8 @@ _ERROR_EXCEPTIONS = {
     ERR_INTERNAL: ServiceError,
     ERR_DEADLINE: DeadlineExceededError,
     ERR_OVERLOADED: ServerOverloadedError,
+    ERR_UNAUTHENTICATED: AuthenticationError,
+    ERR_QUOTA: QuotaExceededError,
 }
 
 _DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
@@ -209,13 +231,15 @@ class Frame:
     ``frame_type`` is always the *base* type — the parser strips
     :data:`FLAG_BIT` after decoding the flagged fields — so dispatch
     code never has to mask.  ``deadline_ms`` is the remaining deadline
-    budget the request arrived with, or ``None`` for unflagged frames.
+    budget the request arrived with, ``tenant_token`` the auth token it
+    carried; both are ``None`` for frames without the matching flag.
     """
 
     frame_type: int
     request_id: int
     payload: bytes
     deadline_ms: int | None = None
+    tenant_token: str | None = None
 
     @property
     def is_error(self) -> bool:
@@ -227,32 +251,50 @@ def encode_frame(
     request_id: int,
     payload: bytes,
     deadline_ms: int | None = None,
+    tenant_token: str | None = None,
 ) -> bytes:
     """Serialize one frame (header, payload, payload CRC-32).
 
-    A ``deadline_ms`` budget may only ride on plain request types; it
-    sets :data:`FLAG_BIT` on the type byte and inserts the flags and
-    deadline uvarints after the request id.  Without it the emitted
-    bytes are identical to protocol version 1.
+    A ``deadline_ms`` budget and/or a ``tenant_token`` may only ride on
+    plain request types; either sets :data:`FLAG_BIT` on the type byte
+    and inserts the flags uvarint (then the deadline uvarint, then the
+    length-prefixed token, in flag-bit order) after the request id.
+    Without them the emitted bytes are identical to protocol version 1.
     """
     if not 0 <= frame_type <= 0xFF:
         raise ValueError(f"frame type {frame_type} out of range")
     payload = bytes(payload)
     head = [MAGIC]
-    if deadline_ms is None:
+    if deadline_ms is None and tenant_token is None:
         head.append(bytes([frame_type]))
         head.append(encode_uvarint(request_id))
     else:
         if frame_type & (RESPONSE_BIT | FLAG_BIT):
             raise ValueError(
-                f"deadline flag needs a plain request type, got {frame_type:#x}"
+                f"header flags need a plain request type, got {frame_type:#x}"
             )
-        if deadline_ms < 0:
-            raise ValueError(f"deadline_ms {deadline_ms} is negative")
+        flags = 0
+        if deadline_ms is not None:
+            if deadline_ms < 0:
+                raise ValueError(f"deadline_ms {deadline_ms} is negative")
+            flags |= FLAG_DEADLINE
+        token_bytes = b""
+        if tenant_token is not None:
+            token_bytes = tenant_token.encode()
+            if not 1 <= len(token_bytes) <= MAX_TOKEN_BYTES:
+                raise ValueError(
+                    f"tenant token must encode to 1..{MAX_TOKEN_BYTES} "
+                    f"bytes, got {len(token_bytes)}"
+                )
+            flags |= FLAG_TENANT
         head.append(bytes([frame_type | FLAG_BIT]))
         head.append(encode_uvarint(request_id))
-        head.append(encode_uvarint(FLAG_DEADLINE))
-        head.append(encode_uvarint(deadline_ms))
+        head.append(encode_uvarint(flags))
+        if deadline_ms is not None:
+            head.append(encode_uvarint(deadline_ms))
+        if tenant_token is not None:
+            head.append(encode_uvarint(len(token_bytes)))
+            head.append(token_bytes)
     return b"".join(
         head
         + [
@@ -322,6 +364,7 @@ class FrameParser:
             return None, 0
         request_id, pos = head
         deadline_ms: int | None = None
+        tenant_token: str | None = None
         # Flags only exist on *known* request types: an unknown type
         # with the 0x40 bit (e.g. a newer protocol's frame) must keep
         # the legacy layout so it still parses and earns the typed
@@ -345,6 +388,24 @@ class FrameParser:
                 if head is None:
                     return None, 0
                 deadline_ms, pos = head
+            if flags & FLAG_TENANT:
+                head = _take_uvarint(buf, pos, "tenant token length")
+                if head is None:
+                    return None, 0
+                token_len, pos = head
+                if not 1 <= token_len <= MAX_TOKEN_BYTES:
+                    raise ProtocolError(
+                        f"implausible tenant token length {token_len}"
+                    )
+                if pos + token_len > len(buf):
+                    return None, 0
+                try:
+                    tenant_token = bytes(
+                        buf[pos : pos + token_len]
+                    ).decode()
+                except UnicodeDecodeError as exc:
+                    raise ProtocolError("undecodable tenant token") from exc
+                pos += token_len
         head = _take_uvarint(buf, pos, "payload length")
         if head is None:
             return None, 0
@@ -365,7 +426,10 @@ class FrameParser:
                 f"frame payload checksum mismatch: header says {crc:#010x}, "
                 f"payload hashes to {actual:#010x}"
             )
-        return Frame(frame_type, request_id, payload, deadline_ms), end
+        return (
+            Frame(frame_type, request_id, payload, deadline_ms, tenant_token),
+            end,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -443,6 +507,38 @@ def decode_array(payload: bytes, pos: int = 0) -> np.ndarray:
     return np.frombuffer(body, dtype=dtype).reshape(shape).copy()
 
 
+def decode_array_view(payload: bytes, pos: int = 0) -> np.ndarray:
+    """Like :func:`decode_array`, but a read-only view over ``payload``.
+
+    The online-selection path samples a few thousand elements for
+    feature extraction before the request is executed; copying the
+    whole array just to look at it would double the admission-time
+    memory cost.
+    """
+    if pos >= len(payload):
+        raise ProtocolError("truncated array payload (missing dtype)")
+    dtype = _CODE_DTYPES.get(payload[pos])
+    if dtype is None:
+        raise ProtocolError(f"unknown array dtype code {payload[pos]}")
+    ndim, pos = _decode_varint(payload, pos + 1, "array rank")
+    if ndim > _MAX_RANK:
+        raise ProtocolError(f"implausible array rank {ndim}")
+    shape = []
+    for _ in range(ndim):
+        extent, pos = _decode_varint(payload, pos, "array extent")
+        shape.append(extent)
+    count = 1
+    for extent in shape:
+        count *= extent
+    body = memoryview(payload)[pos:]
+    if len(body) != count * dtype.itemsize:
+        raise ProtocolError(
+            f"array payload holds {len(body)} bytes, shape "
+            f"{tuple(shape)} x {dtype} needs {count * dtype.itemsize}"
+        )
+    return np.frombuffer(body, dtype=dtype).reshape(shape)
+
+
 def encode_compress_request(
     array: np.ndarray,
     codec: str,
@@ -472,6 +568,22 @@ def decode_compress_request(
     if chunk_elements < 1:
         raise ProtocolError(f"implausible chunk_elements {chunk_elements}")
     return codec, policy, chunk_elements, decode_array(payload, pos)
+
+
+def peek_compress_request(payload: bytes) -> tuple[str, str, int, int]:
+    """Parse a ``COMPRESS`` payload's header without copying the array.
+
+    Returns ``(codec, policy, chunk_elements, array_pos)`` where
+    ``array_pos`` is the offset :func:`decode_array` would start at.
+    The online-selection path uses this to inspect a request cheaply
+    before deciding which concrete codec should execute it.
+    """
+    codec, pos = _decode_name(payload, 0, "codec name")
+    policy, pos = _decode_name(payload, pos, "policy name")
+    chunk_elements, pos = _decode_varint(payload, pos, "chunk_elements")
+    if chunk_elements < 1:
+        raise ProtocolError(f"implausible chunk_elements {chunk_elements}")
+    return codec, policy, chunk_elements, pos
 
 
 def encode_explain_request(
@@ -643,6 +755,21 @@ def encode_overload_error(message: str, retry_after_ms: int) -> bytes:
     return encode_error(ERR_OVERLOADED, body)
 
 
+def encode_quota_error(message: str, retry_after_ms: int | None) -> bytes:
+    """Build an ``ERR_QUOTA`` payload with an optional window-reset hint.
+
+    Same JSON envelope as :func:`encode_overload_error`; ``None`` means
+    the budget can never admit the request (a zero-quota tenant), so
+    clients must not wait-and-retry.
+    """
+    body: dict = {"message": message}
+    if retry_after_ms is not None:
+        if retry_after_ms < 0:
+            raise ValueError(f"retry_after_ms {retry_after_ms} is negative")
+        body["retry_after_ms"] = int(retry_after_ms)
+    return encode_error(ERR_QUOTA, json.dumps(body, sort_keys=True))
+
+
 def _parse_overload_message(message: str) -> tuple[str, int | None]:
     """Extract (text, retry-after-hint) from an overload error message."""
     try:
@@ -666,6 +793,10 @@ def error_code_for(exc: BaseException) -> int:
         return ERR_DEADLINE
     if isinstance(exc, ServerOverloadedError):
         return ERR_OVERLOADED
+    if isinstance(exc, AuthenticationError):
+        return ERR_UNAUTHENTICATED
+    if isinstance(exc, QuotaExceededError):
+        return ERR_QUOTA
     if isinstance(exc, ProtocolError):
         return ERR_PROTOCOL
     if isinstance(exc, CorruptStreamError):
@@ -689,6 +820,11 @@ def raise_for_error(frame: Frame) -> None:
     if code == ERR_OVERLOADED:
         text, retry_after_ms = _parse_overload_message(message)
         raise ServerOverloadedError(
+            f"server error {code}: {text}", retry_after_ms=retry_after_ms
+        )
+    if code == ERR_QUOTA:
+        text, retry_after_ms = _parse_overload_message(message)
+        raise QuotaExceededError(
             f"server error {code}: {text}", retry_after_ms=retry_after_ms
         )
     exc_type = _ERROR_EXCEPTIONS.get(code, ServiceError)

@@ -21,6 +21,20 @@ path:
 * **Graceful drain** — :meth:`CompressionServer.stop` stops accepting,
   lets every in-flight batch finish and flush its responses, wakes idle
   connections immediately, and only then force-closes stragglers.
+* **Tenancy** — with a :class:`~repro.service.tenants.TenantRegistry`
+  configured, every heavy request must carry a tenant token
+  (``FLAG_TENANT`` on the frame): unknown tokens are answered with
+  ``ERR_UNAUTHENTICATED``, over-budget tenants with a typed
+  ``ERR_QUOTA`` (deliberately not the retryable overload path), and
+  batches execute higher-priority tenants first.  Light probes (ping,
+  stats, health, topology) stay unauthenticated so supervisors and
+  dashboards need no credentials.
+* **Online selection** — ``codec="auto"`` requests naming the
+  ``online`` policy are decided by a server-resident per-tenant bandit
+  (:class:`~repro.select.online.OnlineSelectorHub`): the server picks
+  the arm before the batch executes and folds the served outcome
+  (bytes in/out, seconds) back in afterwards, so codec choice tracks
+  each tenant's live regime.
 
 Malformed bytes never crash or hang the server: framing violations get
 a typed ``ERROR`` frame (code ``ERR_PROTOCOL``) and the connection is
@@ -42,7 +56,7 @@ from concurrent import futures
 from functools import partial
 
 from repro.core.executor import map_ordered, resolve_jobs
-from repro.errors import ProtocolError, ReproError
+from repro.errors import AuthenticationError, ProtocolError, ReproError
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
@@ -54,6 +68,7 @@ from repro.service.protocol import (
     ERR_DEADLINE,
     ERR_INTERNAL,
     ERR_PROTOCOL,
+    ERR_UNAUTHENTICATED,
     ERROR,
     HEALTH,
     PING,
@@ -65,9 +80,11 @@ from repro.service.protocol import (
     encode_error,
     encode_frame,
     encode_overload_error,
+    encode_quota_error,
     response_type,
     validate_topology,
 )
+from repro.service.tenants import TenantRegistry
 
 __all__ = [
     "CompressionServer",
@@ -104,16 +121,17 @@ def _error_result(op: str, exc: BaseException) -> tuple:
 def _execute_request(item: tuple) -> tuple:
     """Execute one heavy request; returns an ("ok"|"err", ...) tuple.
 
-    Pure function of the request payload — no server state — which is
-    what makes batched execution byte-identical to serial execution and
-    lets the fan-out cross process boundaries.
+    Pure function of the request payload (plus an optional codec
+    override the bandit decided before the fan-out) — no server state —
+    which is what makes batched execution byte-identical to serial
+    execution and lets the fan-out cross process boundaries.
     """
-    frame_type, payload = item
+    frame_type, payload, override = item
     op = _OP_NAMES[frame_type]
     start = time.perf_counter()
     try:
         if frame_type == COMPRESS:
-            result = _execute_compress(payload)
+            result = _execute_compress(payload, override)
         elif frame_type == DECOMPRESS:
             result = _execute_decompress(payload)
         else:
@@ -124,7 +142,7 @@ def _execute_request(item: tuple) -> tuple:
     return result
 
 
-def _execute_compress(payload: bytes) -> tuple:
+def _execute_compress(payload: bytes, override: str | None = None) -> tuple:
     from repro.api.frames import AUTO_CODEC
     from repro.api.session import compress_array
 
@@ -132,7 +150,12 @@ def _execute_compress(payload: bytes) -> tuple:
         protocol.decode_compress_request(payload)
     )
     codec = name
-    if name == AUTO_CODEC:
+    if override is not None:
+        # The server's online bandit already chose the concrete arm;
+        # record it as the served codec so metrics and the feedback
+        # loop see the arm, not the "auto" alias.
+        codec = name = override
+    elif name == AUTO_CODEC:
         from repro.select import resolve_policy
 
         codec = resolve_policy(policy_name)
@@ -252,7 +275,17 @@ class _AdmissionGate:
 class _Pending:
     """One parsed request frame plus its server-side deadline stamp."""
 
-    __slots__ = ("frame", "expiry", "rejection", "admitted", "released")
+    __slots__ = (
+        "frame",
+        "expiry",
+        "rejection",
+        "admitted",
+        "released",
+        "tenant_id",
+        "priority",
+        "charged",
+        "executed",
+    )
 
     def __init__(self, frame: Frame, expiry: float | None) -> None:
         self.frame = frame
@@ -260,10 +293,18 @@ class _Pending:
         #: deadline was propagated).
         self.expiry = expiry
         #: pre-encoded ERROR payload when the request was rejected at
-        #: admission (deadline / shed) or discarded while queued.
+        #: admission (deadline / shed / auth / quota) or discarded
+        #: while queued.
         self.rejection: bytes | None = None
         self.admitted = False
         self.released = False
+        #: resolved tenant identity (None on a tenant-less server).
+        self.tenant_id: str | None = None
+        self.priority = 0
+        #: the tenant's quota window was charged for this payload.
+        self.charged = False
+        #: the request reached execution (charges stick; see _release).
+        self.executed = False
 
 
 # ----------------------------------------------------------------------
@@ -313,6 +354,22 @@ class CompressionServer:
         ``None`` — the standalone default — synthesizes a single-node
         topology pointing at this server, so a cluster-aware client
         can also talk to a plain ``fcbench serve``.
+    tenants:
+        A :class:`~repro.service.tenants.TenantRegistry`; when set,
+        every heavy request must authenticate with a tenant token and
+        fit the tenant's quota window, and batches execute
+        higher-priority tenants first.  ``None`` (default) serves
+        everyone, untagged.
+    online_seed:
+        Seed for the per-tenant online-selection bandits
+        (:class:`~repro.select.online.OnlineSelectorHub`); the hub is
+        always available — ``codec="auto"`` requests naming the
+        ``online`` policy use it with or without a tenant registry —
+        and the seed makes its exploration reproducible.
+    online_options:
+        Extra keyword options for each tenant's
+        :class:`~repro.select.online.OnlinePolicy` (e.g. a custom
+        ``candidates`` arm set, ``exploration``, ``latency_weight``).
     """
 
     def __init__(
@@ -331,6 +388,9 @@ class CompressionServer:
         metrics: ServiceMetrics | None = None,
         node_id: str | None = None,
         topology: dict | None = None,
+        tenants: TenantRegistry | None = None,
+        online_seed: int = 0,
+        online_options: dict | None = None,
     ) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be positive")
@@ -351,6 +411,13 @@ class CompressionServer:
         self.shed_retry_after_ms = int(shed_retry_after_ms)
         self._admission = _AdmissionGate(max_queued_requests, max_queued_bytes)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.tenants = tenants
+        self.online_seed = int(online_seed)
+        self.online_options = dict(online_options or {})
+        # Created on first online-policy request: keeps `import repro.
+        # service.server` free of the selection stack.
+        self._online_hub = None
+        self._online_lock = threading.Lock()
         self._server: asyncio.base_events.Server | None = None
         self._tasks: set[asyncio.Task] = set()
         self._drain = asyncio.Event()
@@ -432,6 +499,25 @@ class CompressionServer:
                 }
             ],
         }
+
+    def stats_document(self) -> dict:
+        """The JSON body answering a ``stats`` request.
+
+        The metrics snapshot, extended with the quota registry's
+        per-tenant accounting (``tenancy``) and the online bandit's arm
+        statistics (``online``) when those subsystems are live — one
+        document serves the wire, the gateway, and the CLI.
+        """
+        body = self.metrics.snapshot()
+        if self.tenants is not None:
+            body["tenancy"] = self.tenants.snapshot()
+        with self._online_lock:
+            hub = self._online_hub
+        if hub is not None:
+            snap = hub.snapshot()
+            if snap["tenants"]:
+                body["online"] = snap
+        return body
 
     def health_document(self) -> dict:
         """The JSON body answering a ``health`` probe."""
@@ -547,12 +633,17 @@ class CompressionServer:
     def _admit(self, pending: list[_Pending]) -> None:
         """Admission decisions for a batch of heavy frames, at arrival.
 
-        Two rejections happen *before* any queueing: a request whose
-        deadline budget is already spent gets ``ERR_DEADLINE`` (running
-        it would only produce an answer nobody is waiting for), and a
-        request the admission gate cannot hold gets a retryable
-        ``ERR_OVERLOADED`` with a backoff hint.  Responses still flush
-        in request order when the slice is written out.
+        Rejections happen *before* any queueing, in a deliberate
+        order: an already-expired deadline gets ``ERR_DEADLINE``, a
+        missing/unknown tenant token gets ``ERR_UNAUTHENTICATED``, a
+        gate that cannot hold the request gets a retryable
+        ``ERR_OVERLOADED`` with a backoff hint, and an over-budget
+        tenant gets a typed ``ERR_QUOTA`` — *not* the overload path,
+        so a zero-quota tenant's client fails fast instead of
+        retry-livelocking against a budget that will never admit it.
+        The quota window is charged only after the gate admits, at the
+        same point :meth:`ServiceMetrics.record_tenant_admitted` runs,
+        so the two ledgers agree byte-exactly.
         """
         now = time.monotonic()
         for item in pending:
@@ -568,27 +659,78 @@ class CompressionServer:
                     f"deadline budget ({frame.deadline_ms} ms) already "
                     "expired at admission",
                 )
-            elif not self._admission.try_admit(len(frame.payload)):
+                continue
+            if self.tenants is not None:
+                try:
+                    tenant = self.tenants.authenticate(frame.tenant_token)
+                except AuthenticationError as exc:
+                    self.metrics.record_auth_rejected()
+                    self.metrics.record_request(op, 0.0, ok=False)
+                    item.rejection = encode_error(
+                        ERR_UNAUTHENTICATED, str(exc)
+                    )
+                    continue
+                item.tenant_id = tenant.tenant_id
+                item.priority = tenant.priority
+            if not self._admission.try_admit(len(frame.payload)):
                 self.metrics.record_shed()
-                self.metrics.record_request(op, 0.0, ok=False)
+                self.metrics.record_request(
+                    op, 0.0, ok=False, tenant=item.tenant_id
+                )
                 item.rejection = encode_overload_error(
                     "admission gate full "
                     f"({self._admission.max_requests} requests / "
                     f"{self._admission.max_bytes} bytes queued)",
                     self.shed_retry_after_ms,
                 )
-            else:
-                item.admitted = True
+                continue
+            item.admitted = True
+            if self.tenants is not None and item.tenant_id is not None:
+                decision = self.tenants.check_quota(
+                    item.tenant_id, len(frame.payload)
+                )
+                if decision.admitted:
+                    item.charged = True
+                    self.metrics.record_tenant_admitted(
+                        item.tenant_id, len(frame.payload)
+                    )
+                else:
+                    self.metrics.record_quota_rejected(item.tenant_id)
+                    self.metrics.record_request(
+                        op, 0.0, ok=False, tenant=item.tenant_id
+                    )
+                    item.admitted = False
+                    self._admission.release(len(frame.payload))
+                    item.rejection = encode_quota_error(
+                        f"tenant {item.tenant_id!r}: {decision.reason}",
+                        decision.retry_after_ms,
+                    )
 
     def _release(self, item: _Pending) -> None:
         if item.admitted and not item.released:
             item.released = True
             self._admission.release(len(item.frame.payload))
+            if item.charged and not item.executed and self.tenants is not None:
+                # The request never ran (dropped connection, deadline
+                # lapsed in queue): refund its window charge so the
+                # budget meters work performed, not work attempted.
+                # Lifetime totals keep the charge — they mirror
+                # record_tenant_admitted, which also already counted it.
+                self.tenants.release(item.tenant_id, len(item.frame.payload))
 
     # -- batch execution -----------------------------------------------
     async def _process_frames(self, writer, pending: list[_Pending]) -> None:
-        """Execute frames in bounded slices, responses in frame order."""
+        """Execute frames in bounded slices.
+
+        Without tenancy, slices run (and responses flush) in arrival
+        order.  With a tenant registry, admitted frames are stably
+        sorted by descending tenant priority first, so a paying
+        tenant's pipelined work jumps the coalescing queue; clients
+        match responses by request id, so reordering is safe.
+        """
         self._admit(pending)
+        if self.tenants is not None and len(pending) > 1:
+            pending = sorted(pending, key=lambda item: -item.priority)
         start = 0
         try:
             while start < len(pending):
@@ -629,12 +771,15 @@ class CompressionServer:
                         "expired while queued",
                     )
                     continue
-                heavy.append((index, item.frame))
+                heavy.append((index, item))
             results: dict[int, tuple] = {}
             if heavy:
                 items = [
-                    (frame.frame_type, frame.payload) for _, frame in heavy
+                    (item.frame.frame_type, item.frame.payload, item.tenant_id)
+                    for _, item in heavy
                 ]
+                for _, item in heavy:
+                    item.executed = True
                 # One fan-out for the whole slice.  Run it off the event
                 # loop so other connections stay responsive while this
                 # one crunches; with jobs > 1 the fan-out crosses process
@@ -652,14 +797,15 @@ class CompressionServer:
                         writer, ERROR, item.frame.request_id, item.rejection
                     )
                 elif index in results:
-                    await self._respond(writer, item.frame, results[index])
+                    await self._respond(writer, item, results[index])
                 else:
                     await self._respond_light(writer, item.frame)
         finally:
             for item in pending:
                 self._release(item)
 
-    async def _respond(self, writer, frame: Frame, outcome: tuple) -> None:
+    async def _respond(self, writer, item: _Pending, outcome: tuple) -> None:
+        frame = item.frame
         meta = outcome[3]
         seconds = meta.pop("seconds", 0.0)
         if outcome[0] == "ok":
@@ -670,11 +816,14 @@ class CompressionServer:
                 codec=meta.get("codec"),
                 bytes_in=meta.get("bytes_in", 0),
                 bytes_out=meta.get("bytes_out", 0),
+                tenant=item.tenant_id,
             )
             await self._send(writer, ftype, frame.request_id, payload)
         else:
             _, code, message, _ = outcome
-            self.metrics.record_request(meta["op"], seconds, ok=False)
+            self.metrics.record_request(
+                meta["op"], seconds, ok=False, tenant=item.tenant_id
+            )
             await self._send(
                 writer, ERROR, frame.request_id, encode_error(code, message)
             )
@@ -689,7 +838,7 @@ class CompressionServer:
             )
         elif frame.frame_type == STATS:
             try:
-                payload = protocol.encode_json(self.metrics.snapshot())
+                payload = protocol.encode_json(self.stats_document())
             except Exception as exc:  # never let stats kill a connection
                 self.metrics.record_request(
                     "stats", time.perf_counter() - start, ok=False
@@ -754,6 +903,14 @@ class CompressionServer:
     def _run_batch(self, items: list[tuple]) -> list[tuple]:
         """Execute one slice's heavy items (runs on an executor thread).
 
+        Online-policy compress requests are decided *here*, before the
+        fan-out: the bandit picks each item's concrete codec from the
+        request's (tenant, feature-bucket), the pool executes pure
+        ``(frame_type, payload, override)`` items, and the served
+        outcomes are folded back into the bandit afterwards — the
+        feedback loop closes entirely on this thread, so worker
+        processes never see mutable server state.
+
         With ``jobs > 1`` the work goes to a *persistent* process pool
         — created once, reused across batches, so per-batch latency
         carries no pool-startup cost.  A pool that cannot start
@@ -762,10 +919,12 @@ class CompressionServer:
         results are identical either way because every item is a pure
         function of its payload.
         """
+        prepared, decisions = self._decide_batch(items)
+        outcomes = None
         pool = self._worker_pool()
-        if pool is not None and len(items) > 1:
+        if pool is not None and len(prepared) > 1:
             try:
-                return list(pool.map(_execute_request, items))
+                outcomes = list(pool.map(_execute_request, prepared))
             except Exception:
                 # Broken pool: drop it (a later batch may rebuild) and
                 # answer this one serially.
@@ -773,7 +932,69 @@ class CompressionServer:
                 with self._pool_lock:
                     if self._pool is pool:
                         self._pool = None
-        return map_ordered(_execute_request, items, jobs=1)
+        if outcomes is None:
+            outcomes = map_ordered(_execute_request, prepared, jobs=1)
+        self._observe_batch(decisions, outcomes)
+        return outcomes
+
+    def online_hub(self):
+        """The per-tenant bandit hub, created on first use."""
+        with self._online_lock:
+            if self._online_hub is None:
+                from repro.select.online import OnlineSelectorHub
+
+                self._online_hub = OnlineSelectorHub(
+                    seed=self.online_seed, **self.online_options
+                )
+            return self._online_hub
+
+    def _decide_batch(
+        self, items: list[tuple]
+    ) -> tuple[list[tuple], dict[int, tuple]]:
+        """Resolve online-policy compress items to concrete codec arms.
+
+        Returns the pure executable items plus ``{slot: (tenant,
+        bucket, codec)}`` for the decisions to observe after execution.
+        Anything unparseable passes through undecided — the executor
+        will produce the proper typed error for it.
+        """
+        prepared = []
+        decisions: dict[int, tuple] = {}
+        for slot, (frame_type, payload, tenant_id) in enumerate(items):
+            override = None
+            if frame_type == COMPRESS:
+                try:
+                    codec, policy, _, pos = protocol.peek_compress_request(
+                        payload
+                    )
+                    if codec == "auto" and policy == "online":
+                        chunk = protocol.decode_array_view(payload, pos)
+                        override, bucket = self.online_hub().decide(
+                            tenant_id, chunk
+                        )
+                        decisions[slot] = (tenant_id, bucket, override)
+                except (ProtocolError, ReproError):
+                    override = None
+            prepared.append((frame_type, payload, override))
+        return prepared, decisions
+
+    def _observe_batch(
+        self, decisions: dict[int, tuple], outcomes: list[tuple]
+    ) -> None:
+        """Close the loop: feed served outcomes back into the bandit."""
+        for slot, (tenant_id, bucket, codec) in decisions.items():
+            outcome = outcomes[slot]
+            if outcome[0] != "ok":
+                continue
+            meta = outcome[3]
+            self.online_hub().observe(
+                tenant_id,
+                bucket,
+                codec,
+                meta.get("bytes_in", 0),
+                meta.get("bytes_out", 0),
+                meta.get("seconds", 0.0),
+            )
 
     def _worker_pool(self) -> futures.ProcessPoolExecutor | None:
         with self._pool_lock:

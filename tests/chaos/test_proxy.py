@@ -27,7 +27,7 @@ def _array(n=512):
 
 
 def _client(proxy, **kwargs):
-    kwargs.setdefault("retries", 0)
+    kwargs.setdefault("retry", 0)
     return ServiceClient(proxy.listen_host, proxy.listen_port, **kwargs)
 
 
@@ -56,7 +56,7 @@ def test_mid_frame_disconnect_is_a_transport_fault(server):
                                 after_bytes=64),))
     with ChaosProxy(server.host, server.port, plan) as proxy:
         with _client(proxy) as client:
-            # retries=0: the transport fault surfaces as the exhausted-
+            # retry=0: the transport fault surfaces as the exhausted-
             # attempts ProtocolError, not as corrupted data.
             with pytest.raises(ProtocolError, match="attempt"):
                 client.compress_array(_array(), "gorilla", chunk_elements=128)
@@ -75,7 +75,7 @@ def test_connect_refusal_shows_up_before_any_bytes(server):
 def test_latency_spike_trips_the_operation_deadline(server):
     plan = FaultPlan((FaultSpec("latency", probability=1.0, seconds=0.5),))
     with ChaosProxy(server.host, server.port, plan) as proxy:
-        with _client(proxy, timeout=0.15) as client:
+        with _client(proxy, deadline=0.15) as client:
             with pytest.raises(TimeoutError):
                 client.ping()
         assert proxy.stats()["injected"]["latency"] == 1
@@ -86,7 +86,7 @@ def test_stall_resumes_and_the_round_trip_stays_identical(server):
     plan = FaultPlan((FaultSpec("stall", probability=1.0, seconds=0.1,
                                 after_bytes=32),))
     with ChaosProxy(server.host, server.port, plan) as proxy:
-        with _client(proxy, timeout=10.0) as client:
+        with _client(proxy, deadline=10.0) as client:
             served = client.compress_array(arr, "gorilla", chunk_elements=128)
         assert served == compress_array(arr, "gorilla", chunk_elements=128)
         assert proxy.stats()["injected"]["stall"] == 1
@@ -108,7 +108,7 @@ def test_retry_through_a_sometimes_faulty_proxy_succeeds(server):
             ]
 
     with ChaosProxy(server.host, server.port, _Scripted()) as proxy:
-        with _client(proxy, retries=2) as client:
+        with _client(proxy, retry=2) as client:
             assert client.ping() > 0.0
 
 

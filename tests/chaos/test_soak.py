@@ -13,7 +13,6 @@ below stays in the tier-1 run.
 import threading
 import time
 
-import numpy as np
 import pytest
 
 from repro.chaos import FaultPlan, FaultSpec, run_chaos_soak
@@ -88,7 +87,7 @@ def test_drain_under_load_keeps_failures_typed_and_metrics_whole():
         control = (supervisor.control_host, supervisor.control_port)
 
         def observe():
-            with ClusterClient([control], pool_size=1, timeout=5.0) as peek:
+            with ClusterClient([control], pool_size=1, deadline=5.0) as peek:
                 while not stop.is_set():
                     for node_id, snapshot in peek.stats().items():
                         if "error" in snapshot:
@@ -125,6 +124,41 @@ def test_drain_under_load_keeps_failures_typed_and_metrics_whole():
     assert report["availability"] >= 0.99
     assert polled[0] > 0  # the observer actually sampled live snapshots
     assert torn == [], torn
+
+
+def test_soak_with_tenancy_ledger_byte_exact_across_failover():
+    """Tentpole acceptance: quota accounting survives node failover.
+
+    The soak runs authenticated (two tenants, workers alternate
+    tokens), SIGKILLs a node mid-run, and afterwards audits every
+    node's two ledgers against each other: the registry's lifetime
+    quota totals must equal the metrics admission totals byte-exactly.
+    """
+    report = run_chaos_soak(
+        nodes=3,
+        replication=2,
+        connections=3,
+        duration_seconds=4.0,
+        elements=1024,
+        kill_node="auto",
+        tenants=True,
+    )
+    _assert_clean(report)
+    assert report["availability"] >= 0.99
+    tenancy = report["tenancy"]
+    assert tenancy["enabled"]
+    assert set(tenancy["tenants"]) == {"soak-gold", "soak-bronze"}
+    assert tenancy["byte_exact"], tenancy["mismatches"]
+    assert set(tenancy["per_node"]) == {"node-0", "node-1", "node-2"}
+    # Both tenants actually pushed traffic through the cluster.
+    served = {
+        tenant: sum(
+            node.get(tenant, {}).get("registry_requests", 0)
+            for node in tenancy["per_node"].values()
+        )
+        for tenant in tenancy["tenants"]
+    }
+    assert all(count > 0 for count in served.values()), served
 
 
 def _snapshot_problems(snapshot: dict) -> list[str]:

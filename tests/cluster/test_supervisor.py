@@ -129,7 +129,7 @@ def test_control_endpoint_rejects_compress_frames(cluster):
 
 def test_restart_via_control_changes_pid(cluster):
     pid_before = cluster.node_pid("node-2")
-    with _control(cluster, timeout=30.0) as client:
+    with _control(cluster, deadline=30.0) as client:
         answer = client.cluster_control("restart", node="node-2")
     assert answer["id"] == "node-2"
     assert answer["restarts"] == 1

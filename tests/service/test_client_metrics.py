@@ -27,7 +27,7 @@ def test_retry_after_server_restart_on_same_port():
     # retry path must discard the stale socket and redial.
     handle = serve_background()
     host, port = handle.host, handle.port
-    client = ServiceClient(host, port, pool_size=1, retries=2, timeout=10)
+    client = ServiceClient(host, port, pool_size=1, retry=2, deadline=10)
     assert client.ping() >= 0  # parks a live connection in the pool
     handle.stop()
     handle2 = serve_background(port=port)
@@ -41,7 +41,7 @@ def test_retry_after_server_restart_on_same_port():
 def test_no_retries_surfaces_transport_failure():
     handle = serve_background()
     client = ServiceClient(
-        handle.host, handle.port, pool_size=1, retries=0, timeout=5
+        handle.host, handle.port, pool_size=1, retry=0, deadline=5
     )
     assert client.ping() >= 0
     handle.stop()
@@ -61,7 +61,7 @@ def test_slow_server_surfaces_timeout_not_protocol_error():
     listener.listen(1)
     port = listener.getsockname()[1]
     try:
-        client = ServiceClient("127.0.0.1", port, retries=2, timeout=0.3)
+        client = ServiceClient("127.0.0.1", port, retry=2, deadline=0.3)
         with pytest.raises(TimeoutError):
             client.ping()
         client.close()

@@ -102,7 +102,7 @@ def test_unknown_flag_bits_are_a_protocol_error():
             MAGIC,
             bytes([PING | FLAG_BIT]),
             encode_uvarint(1),  # request id
-            encode_uvarint(0x02),  # an undefined flag bit
+            encode_uvarint(0x04),  # an undefined flag bit
             encode_uvarint(len(payload)),
             payload,
             (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "little"),
@@ -151,7 +151,7 @@ def test_generous_deadline_serves_identical_bytes(server):
 
     arr = _array()
     with ServiceClient(
-        server.host, server.port, propagate_deadline=True, timeout=30.0
+        server.host, server.port, propagate_deadline=True, deadline=30.0
     ) as client:
         served = client.compress_array(arr, "gorilla", chunk_elements=128)
     assert served == compress_array(arr, "gorilla", chunk_elements=128)
@@ -314,7 +314,7 @@ def test_no_fd_leak_on_timeout_path():
     listener.listen(16)
     host, port = listener.getsockname()
     try:
-        with ServiceClient(host, port, timeout=0.15, retries=0) as client:
+        with ServiceClient(host, port, deadline=0.15, retry=0) as client:
             baseline = _fd_count()
             for _ in range(8):
                 with pytest.raises(TimeoutError):

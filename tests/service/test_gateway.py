@@ -1,0 +1,156 @@
+"""HTTP observability gateway: Prometheus exposition, health, tenants.
+
+The exposition-format validator below is deliberately strict about the
+parts scrapers are strict about: every sample line belongs to a family
+announced by ``# HELP``/``# TYPE``, counter family names end in
+``_total``, label values are quoted and escaped, and values parse as
+floats.  The live-scrape tests then assert per-tenant counters and the
+online arm gauges actually show up for real traffic.
+"""
+
+import json
+import re
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.service import ServiceClient, serve_background
+from repro.service.gateway import ObservabilityGateway, render_prometheus
+from repro.service.tenants import TenantConfig, TenantRegistry
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"$')
+
+
+def validate_exposition(text: str) -> dict:
+    """Parse a Prometheus text-format page; return {family: kind}."""
+    families: dict[str, str] = {}
+    announced: set[str] = set()
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            announced.add(line.split(" ", 3)[2])
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert name in announced, f"TYPE before HELP for {name}"
+            assert kind in {"counter", "gauge", "summary"}, kind
+            if kind == "counter":
+                assert name.endswith("_total"), (
+                    f"counter {name} must end in _total"
+                )
+            families[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = SAMPLE_RE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        assert match.group("name") in families, (
+            f"sample {match.group('name')} has no TYPE header"
+        )
+        if match.group("labels"):
+            inner = match.group("labels")[1:-1]
+            for pair in filter(None, inner.split(",")):
+                assert LABEL_RE.match(pair), f"bad label pair: {pair!r}"
+        float(match.group("value"))  # raises if not a number
+    assert families, "no metric families found"
+    return families
+
+
+def _registry():
+    registry = TenantRegistry()
+    registry.add(TenantConfig("acme", token="gw-acme", priority=5))
+    registry.add(TenantConfig("beta", token="gw-beta"))
+    return registry
+
+
+@pytest.fixture(scope="module")
+def stack():
+    handle = serve_background(tenants=_registry(), online_seed=42)
+    gateway = ObservabilityGateway(handle.server)
+    gateway.start()
+    array = np.linspace(0.0, 1.0, 2048).astype(np.float64)
+    with ServiceClient(handle.host, handle.port, token="gw-acme") as acme:
+        for _ in range(3):
+            blob = acme.compress_array(array, "auto", policy="online")
+            acme.decompress_array(blob)
+    with ServiceClient(handle.host, handle.port, token="gw-beta") as beta:
+        beta.compress_array(array, "gorilla")
+    yield gateway
+    gateway.stop()
+    handle.stop()
+
+
+def _get(gateway, path):
+    with urllib.request.urlopen(gateway.url(path), timeout=5) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+class TestRenderPrometheus:
+    def test_render_is_valid_exposition(self, stack):
+        document = stack.server.stats_document()
+        families = validate_exposition(render_prometheus(document))
+        assert families["fcbench_uptime_seconds"] == "gauge"
+        assert families["fcbench_requests_total"] == "counter"
+        assert families["fcbench_tenant_requests_total"] == "counter"
+
+    def test_node_label_threaded_through(self, stack):
+        document = stack.server.stats_document()
+        text = render_prometheus(document, node_id="node-7")
+        assert 'node="node-7"' in text
+        validate_exposition(text)
+
+    def test_label_values_escaped(self, stack):
+        document = stack.server.stats_document()
+        text = render_prometheus(document, node_id='we"ird\\nd\n')
+        validate_exposition(text)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+
+class TestEndpoints:
+    def test_metrics_scrape(self, stack):
+        status, body = _get(stack, "/metrics")
+        assert status == 200
+        families = validate_exposition(body)
+        # Per-tenant counters attribute the traffic the fixture drove.
+        acme = re.search(
+            r'fcbench_tenant_requests_total\{[^}]*tenant="acme"\} (\d+)',
+            body,
+        )
+        beta = re.search(
+            r'fcbench_tenant_requests_total\{[^}]*tenant="beta"\} (\d+)',
+            body,
+        )
+        assert acme and int(acme.group(1)) == 6  # 3 compress + 3 decompress
+        assert beta and int(beta.group(1)) == 1
+        # The online bandit's arm statistics are exported too.
+        assert families["fcbench_online_arm_pulls_total"] == "counter"
+        assert 'tenant="acme"' in body
+
+    def test_healthz_ok(self, stack):
+        status, body = _get(stack, "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_tenants_json(self, stack):
+        status, body = _get(stack, "/tenants")
+        assert status == 200
+        payload = json.loads(body)
+        assert set(payload["tenancy"]["tenants"]) == {"acme", "beta"}
+        assert "acme" in payload["tenants"]
+        assert "gw-acme" not in body  # tokens never leave the server
+
+    def test_unknown_path_404(self, stack):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(stack, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_port_resolves_and_restart_is_idempotent(self, stack):
+        assert stack.port > 0
+        assert stack.start() is stack  # second start is a no-op
