@@ -175,6 +175,7 @@ def run_chaos_soak(
     node_jobs: Optional[int] = None,
     batch_window: float = 0.002,
     tenants: bool = False,
+    trace: bool = False,
     on_cluster: Optional[Callable[[object], None]] = None,
 ) -> dict:
     """Run the soak; returns the JSON-ready resilience report.
@@ -188,6 +189,10 @@ def run_chaos_soak(
     up — the hook tests use to observe the soak from the side.
     ``tenants`` runs the whole soak authenticated (two tenants, workers
     alternating) and audits per-node quota ledgers afterwards.
+    ``trace`` starts every node with distributed tracing and, after the
+    workers finish, merges the surviving nodes' span buffers — the
+    report then shows whether tracing kept working through the kill
+    (spans recorded after the SIGKILL, from the nodes that stayed up).
     """
     from repro.api.session import compress_array
     from repro.cluster import ClusterClient, ClusterSupervisor
@@ -241,6 +246,7 @@ def run_chaos_soak(
         jobs=node_jobs,
         batch_window=batch_window,
         tenants=tenants_file,
+        trace=trace,
     )
     supervisor.start()
     proxies: list[ChaosProxy] = []
@@ -278,16 +284,22 @@ def run_chaos_soak(
 
         node_ids = [node["id"] for node in supervisor.topology()["nodes"]]
         kill_target = None
+        kill_stamp: list[float] = []
         if kill_node is not None:
             kill_target = (
                 node_ids[min(1, len(node_ids) - 1)]
                 if kill_node == "auto"
                 else kill_node
             )
+
+            def _kill(target: str) -> None:
+                kill_stamp.append(time.time())
+                supervisor.kill_node(target)
+
             timers.append(
                 threading.Timer(
                     duration_seconds * kill_after_fraction,
-                    supervisor.kill_node,
+                    _kill,
                     args=(kill_target,),
                 )
             )
@@ -408,6 +420,30 @@ def run_chaos_soak(
             return sum(result.get(key, 0) for result in results)
 
         deadline_misses = total("deadline_misses")
+        tracing_section: dict = {"enabled": bool(trace)}
+        if trace:
+            # Merge what survived: the killed node's buffer died with
+            # its process (its restart starts empty), the other nodes'
+            # rings still hold the soak's spans — including ones
+            # recorded *after* the SIGKILL, which is the property the
+            # resilience snapshot pins.
+            merged = supervisor.trace_document(limit=4096)
+            spans = merged.get("spans", [])
+            killed_at = kill_stamp[0] if kill_stamp else None
+            tracing_section.update(
+                nodes=merged.get("nodes", {}),
+                spans_merged=len(spans),
+                trace_ids=len({s.get("trace_id") for s in spans}),
+                spans_after_kill=(
+                    sum(
+                        1
+                        for s in spans
+                        if s.get("start", 0.0) >= killed_at
+                    )
+                    if killed_at is not None
+                    else None
+                ),
+            )
         return {
             "nodes": int(nodes),
             "replication": int(min(replication, nodes)),
@@ -457,6 +493,7 @@ def run_chaos_soak(
                 if tenants
                 else {"enabled": False}
             ),
+            "tracing": tracing_section,
         }
     finally:
         for timer in timers:

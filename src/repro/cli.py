@@ -41,6 +41,9 @@ Subcommands:
 * ``fcbench client`` — talk to a running server:
   ``ping | compress | decompress | stats``.  A served ``compress`` is
   byte-identical to the local one.
+* ``fcbench trace`` — inspect a traced server's span buffer:
+  ``tail | export | stats`` (see ``docs/observability.md``); the
+  cluster-wide view is ``fcbench cluster trace``.
 * ``fcbench list``   — enumerate the registered methods and datasets
   (``--json`` for machine-readable registry introspection).
 
@@ -999,6 +1002,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             topology=topology,
             tenants=tenants,
             online_seed=args.online_seed,
+            trace=args.trace,
+            trace_capacity=args.trace_capacity,
+            slow_request_ms=args.slow_ms,
         )
     finally:
         for gateway in gateways:
@@ -1234,6 +1240,7 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             state_dir=args.state_dir,
             control_port=args.control_port,
             tenants=args.tenants,
+            trace=args.trace,
         )
         supervisor.start()
     except (ClusterError, OSError) as exc:
@@ -1340,6 +1347,125 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_span_tree(spans) -> None:
+    """Render flat span dicts as indented parent→child trees."""
+    import datetime
+
+    from repro.obs import build_trace_tree
+
+    def _walk(node, depth: int) -> None:
+        ts = datetime.datetime.fromtimestamp(node["start"]).strftime(
+            "%H:%M:%S.%f"
+        )[:-3]
+        attrs = node.get("attributes") or {}
+        extras = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+        flag = "  [ERROR]" if node.get("status") == "error" else ""
+        print(
+            f"{ts}  {node.get('duration_ms') or 0.0:>9.3f}ms  "
+            f"{node['trace_id'][:8]}  {'  ' * depth}{node['name']}{flag}"
+            + (f"  {extras}" if extras else "")
+        )
+        for child in node["children"]:
+            _walk(child, depth + 1)
+
+    for root in build_trace_tree(spans):
+        _walk(root, 0)
+
+
+def _export_chrome_trace(spans, out_path: str) -> None:
+    import json
+
+    from repro.obs import chrome_trace_events
+
+    with open(out_path, "w") as fh:
+        json.dump({"traceEvents": chrome_trace_events(spans)}, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path} ({len(spans)} span(s); open in chrome://tracing)")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.service.client import ServiceClient
+
+    try:
+        with ServiceClient(
+            args.host, args.port, retry=0, deadline=args.timeout
+        ) as client:
+            doc = client.trace(
+                limit=getattr(args, "limit", None),
+                trace_id=getattr(args, "trace_id", None),
+            )
+    except ConnectionRefusedError as exc:
+        raise SystemExit(
+            f"error: no server at {args.host}:{args.port} ({exc})"
+        ) from exc
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+    stats = doc.get("stats") or {}
+    if not stats.get("enabled") and args.trace_command != "stats":
+        raise SystemExit(
+            f"error: tracing is disabled on {doc.get('node', 'the server')} "
+            "(start it with 'fcbench serve --trace')"
+        )
+    if args.trace_command == "stats":
+        print(json.dumps(doc.get("stats", {}), indent=2, sort_keys=True))
+        return 0
+    if args.trace_command == "export":
+        _export_chrome_trace(doc.get("spans", []), args.out)
+        return 0
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    spans = doc.get("spans", [])
+    if not spans:
+        print("no spans recorded yet")
+        return 0
+    _print_span_tree(spans)
+    return 0
+
+
+def _cmd_cluster_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+
+    try:
+        with _cluster_control_client(args) as client:
+            doc = client.trace(limit=args.limit, trace_id=args.trace_id)
+    except ConnectionRefusedError as exc:
+        raise SystemExit(f"error: no cluster supervisor reachable ({exc})") from exc
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    if args.export:
+        _export_chrome_trace(doc.get("spans", []), args.export)
+        return 0
+    nodes = doc.get("nodes", {})
+    for node_id in sorted(nodes):
+        entry = nodes[node_id]
+        if "error" in entry:
+            print(f"node {node_id}: unreachable ({entry['error']})")
+        else:
+            state = "tracing" if entry.get("enabled") else "tracing disabled"
+            print(
+                f"node {node_id}: {state}, "
+                f"{entry.get('buffered', 0)} span(s) buffered"
+            )
+    spans = doc.get("spans", [])
+    if not spans:
+        print("no spans recorded yet (start the cluster with --trace)")
+        return 0
+    print()
+    _print_span_tree(spans)
+    return 0
+
+
 def _cmd_cluster_drain(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
 
@@ -1390,6 +1516,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             op_deadline=args.op_deadline,
             attempt_timeout=args.attempt_timeout,
             tenants=args.tenants,
+            trace=args.trace,
         )
     except (ValueError, KeyError) as exc:
         raise SystemExit(f"error: {exc}") from exc
@@ -2027,6 +2154,26 @@ def build_parser() -> argparse.ArgumentParser:
         "exploration (default %(default)s)",
     )
     p_serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="record distributed-tracing spans into an in-process ring "
+        "buffer, served at /trace (gateway) and via 'fcbench trace'",
+    )
+    p_serve.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=4096,
+        help="span ring-buffer capacity; oldest spans are dropped "
+        "beyond this (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="log a structured 'slow request' line for heavy requests "
+        "slower than this many milliseconds (default: off)",
+    )
+    p_serve.add_argument(
         "--quiet", action="store_true", help="address line only"
     )
     p_serve.set_defaults(func=_cmd_serve)
@@ -2102,6 +2249,77 @@ def build_parser() -> argparse.ArgumentParser:
     c_dec.add_argument("--quiet", action="store_true", help="no summary line")
     c_dec.set_defaults(func=_cmd_client)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect the distributed-tracing span buffer of a running "
+        "server (start it with 'fcbench serve --trace')",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    def _add_trace_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--host",
+            default="127.0.0.1",
+            help="server address (default %(default)s)",
+        )
+        sub_parser.add_argument(
+            "--port",
+            type=int,
+            default=8765,
+            help="server port (default %(default)s)",
+        )
+        sub_parser.add_argument(
+            "--timeout",
+            type=float,
+            default=10.0,
+            help="request timeout (default %(default)ss)",
+        )
+
+    tr_tail = trace_sub.add_parser(
+        "tail", help="print the most recent span trees"
+    )
+    _add_trace_args(tr_tail)
+    tr_tail.add_argument(
+        "--limit",
+        type=int,
+        default=100,
+        help="most recent spans to fetch (default %(default)s)",
+    )
+    tr_tail.add_argument(
+        "--trace-id",
+        default=None,
+        help="only spans belonging to this trace id",
+    )
+    tr_tail.add_argument(
+        "--json", action="store_true", help="raw span document"
+    )
+    tr_tail.set_defaults(func=_cmd_trace)
+    tr_export = trace_sub.add_parser(
+        "export", help="write recent spans as a chrome://tracing JSON file"
+    )
+    _add_trace_args(tr_export)
+    tr_export.add_argument(
+        "--limit",
+        type=int,
+        default=1000,
+        help="most recent spans to export (default %(default)s)",
+    )
+    tr_export.add_argument(
+        "--trace-id",
+        default=None,
+        help="only spans belonging to this trace id",
+    )
+    tr_export.add_argument(
+        "--out",
+        default="trace.json",
+        help="output path (default %(default)s)",
+    )
+    tr_export.set_defaults(func=_cmd_trace)
+    tr_stats = trace_sub.add_parser(
+        "stats", help="print the server's span-recorder counters"
+    )
+    _add_trace_args(tr_stats)
+    tr_stats.set_defaults(func=_cmd_trace)
     p_tenant = sub.add_parser(
         "tenant",
         help="manage the multi-tenant registry (tokens, quotas, stats)",
@@ -2281,6 +2499,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(see 'fcbench tenant create')",
     )
     cl_serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="start every node with distributed tracing enabled; "
+        "aggregate with 'fcbench cluster trace'",
+    )
+    cl_serve.add_argument(
         "--quiet", action="store_true", help="address lines only"
     )
     cl_serve.set_defaults(func=_cmd_cluster_serve)
@@ -2326,6 +2550,33 @@ def build_parser() -> argparse.ArgumentParser:
     cl_drain.add_argument("node", help="node id to drain (e.g. node-1)")
     _add_control_args(cl_drain)
     cl_drain.set_defaults(func=_cmd_cluster_drain)
+    cl_trace = cluster_sub.add_parser(
+        "trace",
+        help="merge recent spans from every node into one cluster-wide "
+        "trace view (nodes must be started with --trace)",
+    )
+    _add_control_args(cl_trace)
+    cl_trace.add_argument(
+        "--limit",
+        type=int,
+        default=200,
+        help="most recent spans fetched per node (default %(default)s)",
+    )
+    cl_trace.add_argument(
+        "--trace-id",
+        default=None,
+        help="only spans belonging to this trace id",
+    )
+    cl_trace.add_argument(
+        "--json", action="store_true", help="raw merged document"
+    )
+    cl_trace.add_argument(
+        "--export",
+        default=None,
+        metavar="PATH",
+        help="write a chrome://tracing JSON file instead of printing",
+    )
+    cl_trace.set_defaults(func=_cmd_cluster_trace)
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -2394,6 +2645,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--tenants", action="store_true",
         help="run the soak multi-tenant (token auth on every node) and "
         "audit per-node quota ledgers for byte-exactness afterwards",
+    )
+    p_chaos.add_argument(
+        "--trace", action="store_true",
+        help="trace every node and report whether span recording "
+        "survived the mid-run kill",
     )
     p_chaos.add_argument(
         "--min-availability", type=float, default=0.99,

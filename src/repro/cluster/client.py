@@ -44,6 +44,7 @@ from repro.api.frames import DEFAULT_CHUNK_ELEMENTS
 from repro.client import CompressionClient, deprecated_kwarg
 from repro.cluster.ring import HashRing
 from repro.errors import ClusterError, ProtocolError, ServerOverloadedError
+from repro.obs import SpanRecorder
 from repro.service.client import DEFAULT_CODEC, ServiceClient
 from repro.service.resilience import CircuitBreaker, Deadline, RetryPolicy
 
@@ -125,6 +126,16 @@ class ClusterClient(CompressionClient):
         ``(host, port)`` actually dialed.  The chaos harness routes
         node traffic through fault-injecting proxies with this seam;
         placement and node identity still follow the topology.
+    trace:
+        Distributed tracing.  ``True`` creates one
+        :class:`~repro.obs.spans.SpanRecorder` shared by the cluster
+        layer *and* every per-node :class:`ServiceClient`, so a 2-pass
+        failover renders as one tree: ``cluster.request`` at the root,
+        a ``cluster.replica`` child per node tried, each node's
+        ``client.request``/``client.attempt`` spans under it, and —
+        when the nodes also run traced — their server spans join over
+        the wire.  A recorder may also be passed to share one across
+        clients.
     """
 
     def __init__(
@@ -142,6 +153,7 @@ class ClusterClient(CompressionClient):
         breaker_reset: float = 2.5,
         propagate_deadline: bool = False,
         address_overrides: dict | None = None,
+        trace: bool | SpanRecorder = False,
         timeout: float | None = None,
     ) -> None:
         self.seeds = [parse_seed(seed) for seed in seeds]
@@ -170,6 +182,11 @@ class ClusterClient(CompressionClient):
             key: parse_seed(value)
             for key, value in (address_overrides or {}).items()
         }
+        self.recorder = (
+            trace
+            if isinstance(trace, SpanRecorder)
+            else SpanRecorder(enabled=bool(trace))
+        )
         self._lock = threading.Lock()
         self._clients: dict[str, ServiceClient] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
@@ -305,6 +322,7 @@ class ClusterClient(CompressionClient):
                     deadline=self.attempt_timeout,
                     token=self.token,
                     propagate_deadline=self.propagate_deadline,
+                    trace=self.recorder,
                     **(
                         {"max_payload": self.max_payload}
                         if self.max_payload is not None
@@ -362,6 +380,21 @@ class ClusterClient(CompressionClient):
             deadline = Deadline.after(
                 self.deadline if deadline is None else deadline
             )
+        root = self.recorder.span(
+            "cluster.request", attributes={"stream_id": stream_id}
+        )
+        try:
+            result = self._execute_with_failover(
+                stream_id, op, deadline, root
+            )
+        except BaseException as exc:
+            root.set_error(exc)
+            root.finish()
+            raise
+        root.finish()
+        return result
+
+    def _execute_with_failover(self, stream_id: str, op, deadline, root):
         failures: list[tuple[str, Exception]] = []
         for attempt in range(2):
             replicas = self.nodes_for(stream_id)
@@ -377,27 +410,47 @@ class ClusterClient(CompressionClient):
                 if attempt == 0 and states.get(node_id) not in _ROUTABLE_STATES:
                     continue
                 breaker = self._breaker(node_id)
+                replica_span = self.recorder.span(
+                    "cluster.replica",
+                    parent=root,
+                    attributes={"node": node_id, "pass": attempt},
+                )
                 if not breaker.allow(force_probe=attempt == 1):
                     with self._lock:
                         self._breaker_skips += 1
                     failures.append(
                         (node_id, ClusterError("circuit breaker open"))
                     )
+                    replica_span.set_error("circuit breaker open")
+                    replica_span.finish()
                     continue
                 try:
-                    result = op(self._client_for(node_id), deadline)
+                    client = self._client_for(node_id)
+                    # The per-node client parents its request spans
+                    # under this replica attempt (thread-local, so
+                    # concurrent cluster calls do not cross wires).
+                    client._trace_parent.ctx = replica_span.context
+                    try:
+                        result = op(client, deadline)
+                    finally:
+                        client._trace_parent.ctx = None
                 except ServerOverloadedError as exc:
                     breaker.record_success()
                     failures.append((node_id, exc))
+                    replica_span.set_error(exc)
+                    replica_span.finish()
                     continue
                 except _FAILOVER_ERRORS as exc:
                     breaker.record_failure()
                     with self._lock:
                         self._failovers += 1
                     failures.append((node_id, exc))
+                    replica_span.set_error(exc)
+                    replica_span.finish()
                     self._drop_client(node_id)
                     continue
                 breaker.record_success()
+                replica_span.finish()
                 return result
             if attempt == 0:
                 time.sleep(deadline.clamp(self.retry_policy.delay(0)))
@@ -407,11 +460,15 @@ class ClusterClient(CompressionClient):
                         f"before the topology refresh for stream "
                         f"{stream_id!r}: {self._failure_detail(failures)}"
                     )
-                try:
-                    self.refresh(deadline=deadline)
-                except ClusterError as exc:
-                    failures.append(("<refresh>", exc))
-                    break
+                with self.recorder.span(
+                    "cluster.refresh", parent=root
+                ) as refresh_span:
+                    try:
+                        self.refresh(deadline=deadline)
+                    except ClusterError as exc:
+                        refresh_span.set_error(exc)
+                        failures.append(("<refresh>", exc))
+                        break
         raise ClusterError(
             f"no replica could serve stream {stream_id!r} "
             f"(replication {self.replication}): "
@@ -566,6 +623,39 @@ class ClusterClient(CompressionClient):
                 self._drop_client(node_id)
                 answers[node_id] = {"error": f"{type(exc).__name__}: {exc}"}
         return answers
+
+    def trace(
+        self, limit: int | None = None, trace_id: str | None = None
+    ) -> dict:
+        """Cluster-merged trace document: client spans + every node's.
+
+        Each reachable node's recorder is read over the wire and the
+        spans are merged with this client's own (failover, replica, and
+        attempt spans), start-ordered — one coherent timeline for a
+        request that crossed machines.  Unreachable nodes report an
+        error entry instead of poisoning the merge.
+        """
+        spans = (
+            self.recorder.trace(trace_id)
+            if trace_id is not None
+            else self.recorder.snapshot(limit)
+        )
+        nodes: dict[str, dict] = {}
+        for node_id in self._known_nodes():
+            try:
+                answer = self._client_for(node_id).trace(limit, trace_id)
+            except _FAILOVER_ERRORS as exc:
+                self._drop_client(node_id)
+                nodes[node_id] = {"error": f"{type(exc).__name__}: {exc}"}
+                continue
+            nodes[node_id] = answer.get("stats", {})
+            spans.extend(answer.get("spans", []))
+        spans.sort(key=lambda span: span.get("start", 0.0))
+        return {
+            "client": self.recorder.stats(),
+            "nodes": nodes,
+            "spans": spans,
+        }
 
     def _known_nodes(self) -> list[str]:
         with self._lock:

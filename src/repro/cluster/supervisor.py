@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ClusterError, ProtocolError
+from repro.obs import get_logger
 from repro.service import protocol
 from repro.service.client import ServiceClient
 from repro.service.protocol import (
@@ -53,6 +54,7 @@ from repro.service.protocol import (
     ERROR,
     HEALTH,
     PING,
+    TRACE,
     FrameParser,
     encode_error,
     encode_frame,
@@ -130,6 +132,10 @@ class ClusterSupervisor:
         the same tenant set, and each enforces quotas locally.
     control_host, control_port:
         Bind address of the control endpoint (port 0 = ephemeral).
+    trace:
+        Forward ``--trace`` to every node's ``fcbench serve`` and
+        serve ``trace`` requests on the control endpoint by merging
+        the per-node span recorders (``fcbench cluster trace``).
     """
 
     def __init__(
@@ -149,6 +155,7 @@ class ClusterSupervisor:
         control_host: str | None = None,
         control_port: int = 0,
         tenants: str | os.PathLike | None = None,
+        trace: bool = False,
     ) -> None:
         if isinstance(nodes, int):
             if nodes < 1:
@@ -172,6 +179,8 @@ class ClusterSupervisor:
         self.node_grace = float(node_grace)
         self.control_host = control_host if control_host is not None else host
         self.control_port = int(control_port)
+        self.trace = bool(trace)
+        self._log = get_logger("repro.cluster")
         # Resolved now: node processes run with cwd=state_dir.
         self.tenants_path = (
             Path(tenants).resolve() if tenants is not None else None
@@ -285,6 +294,8 @@ class ClusterSupervisor:
             cmd += ["--jobs", str(self.jobs)]
         if self.tenants_path is not None:
             cmd += ["--tenants", str(self.tenants_path)]
+        if self.trace:
+            cmd += ["--trace"]
         return cmd
 
     def _node_env(self) -> dict:
@@ -307,6 +318,15 @@ class ClusterSupervisor:
         )
         node.state = "starting"
         node.strikes = 0
+        self._log.info(
+            "node spawned",
+            extra={
+                "node": node.spec.node_id,
+                "pid": node.process.pid,
+                "port": node.spec.port,
+                "restarts": node.restarts,
+            },
+        )
 
     def _terminate(self, node: _Node, *, final_state: str) -> None:
         """SIGTERM (graceful drain), escalate to SIGKILL after grace."""
@@ -403,12 +423,19 @@ class ClusterSupervisor:
                             node.log_file.close()
                         except OSError:
                             pass
+                    self._log.warning(
+                        "node died; restarting",
+                        extra={"node": node.spec.node_id},
+                    )
                     self._spawn(node)
                     node.restarts += 1
                     node.state = "starting"
                 return True
             if node.state != "down":
                 node.state = "down"
+                self._log.warning(
+                    "node died", extra={"node": node.spec.node_id}
+                )
                 return True
             return False
         answer = self._probe(node.spec, timeout=max(1.0, self.health_interval))
@@ -439,6 +466,7 @@ class ClusterSupervisor:
         with self._lock:
             node.draining = True
             node.state = "draining"
+        self._log.info("node draining", extra={"node": node_id})
         self._write_state()
         self._terminate(node, final_state="down")
         self._write_state()
@@ -466,6 +494,7 @@ class ClusterSupervisor:
         node = self._get(node_id)
         process = node.process
         if process is not None and process.poll() is None:
+            self._log.warning("node killed", extra={"node": node_id})
             process.kill()
 
     def node_pid(self, node_id: str) -> int | None:
@@ -531,6 +560,44 @@ class ClusterSupervisor:
             "state_dir": str(self.state_dir),
             "nodes": nodes,
         }
+
+    def trace_document(
+        self, limit: int | None = None, trace_id: str | None = None
+    ) -> dict:
+        """Cluster-wide trace merge: every node's recorder, one timeline.
+
+        Each live node answers a ``trace`` request with its own ring's
+        spans; the supervisor concatenates them start-ordered.  Nodes
+        that cannot answer (down, draining, mid-restart) contribute an
+        error entry — a partial trace beats no trace during exactly the
+        incidents tracing exists for.
+        """
+        with self._lock:
+            specs = [
+                node.spec
+                for node in sorted(
+                    self._nodes.values(), key=lambda n: n.spec.node_id
+                )
+            ]
+        nodes: dict[str, dict] = {}
+        spans: list[dict] = []
+        for spec in specs:
+            client = ServiceClient(
+                spec.host, spec.port, pool_size=1, retry=0, deadline=2.0
+            )
+            try:
+                answer = client.trace(limit, trace_id)
+            except Exception as exc:
+                nodes[spec.node_id] = {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }
+                continue
+            finally:
+                client.close()
+            nodes[spec.node_id] = answer.get("stats", {})
+            spans.extend(answer.get("spans", []))
+        spans.sort(key=lambda span: span.get("start", 0.0))
+        return {"role": "supervisor", "nodes": nodes, "spans": spans}
 
     def _write_state(self) -> None:
         """Atomically rewrite the state file (CLI/CI entry point)."""
@@ -642,6 +709,17 @@ class ClusterSupervisor:
                 answer_type = response_type(CLUSTER_CONTROL)
                 payload = protocol.encode_json(
                     await self._run_control_action(action, node)
+                )
+            elif frame.frame_type == TRACE:
+                limit, trace_id = protocol.decode_trace_request(frame.payload)
+                answer_type = response_type(TRACE)
+                loop = asyncio.get_running_loop()
+                # Reading N node recorders over the wire blocks on N
+                # sockets; keep the control loop answerable meanwhile.
+                payload = protocol.encode_json(
+                    await loop.run_in_executor(
+                        None, self.trace_document, limit, trace_id
+                    )
                 )
             else:
                 answer_type = ERROR

@@ -1,0 +1,48 @@
+"""Observability: distributed tracing spans and structured logging.
+
+The sans-I/O core lives in :mod:`repro.obs.spans` (span model, wire
+context, :class:`SpanRecorder` ring buffer) and
+:mod:`repro.obs.logging` (one-JSON-object-per-line formatter and the
+slow-request sampler).  The service layer owns the I/O ends: the
+``FLAG_TRACE`` protocol flag carries :class:`TraceContext` between
+processes, the gateway's ``/trace`` endpoints and ``fcbench trace``
+read the recorder back out.
+"""
+
+from repro.obs.logging import (
+    JsonFormatter,
+    SlowRequestSampler,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.spans import (
+    NULL_SPAN,
+    SPAN_ID_BYTES,
+    TRACE_ID_BYTES,
+    WIRE_CONTEXT_BYTES,
+    Span,
+    SpanRecorder,
+    TraceContext,
+    build_trace_tree,
+    chrome_trace_events,
+    new_span_id,
+    new_trace_id,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "SPAN_ID_BYTES",
+    "Span",
+    "SpanRecorder",
+    "TRACE_ID_BYTES",
+    "TraceContext",
+    "WIRE_CONTEXT_BYTES",
+    "JsonFormatter",
+    "SlowRequestSampler",
+    "build_trace_tree",
+    "chrome_trace_events",
+    "configure_logging",
+    "get_logger",
+    "new_span_id",
+    "new_trace_id",
+]

@@ -300,7 +300,11 @@ def run_bench(
         # ephemeral port, 4 concurrent connections per codec (see
         # repro/perf/loadgen.py).  Lands in the same snapshot so the
         # serving trajectory is tracked per commit like codec speed.
-        from repro.perf.loadgen import run_cluster_loadgen, run_loadgen
+        from repro.perf.loadgen import (
+            run_cluster_loadgen,
+            run_loadgen,
+            run_tracing_overhead,
+        )
 
         report["service"] = run_loadgen(
             seed=seed,
@@ -312,6 +316,13 @@ def run_bench(
         report["service"]["cluster"] = run_cluster_loadgen(
             seed=seed,
             on_result=on_cell if on_cell is not None else None,
+        )
+        # Tracing tax: the same loadgen with distributed tracing off vs
+        # on (span recording on both ends plus 24 wire bytes per
+        # request).  The snapshot pins the cost so a span added on the
+        # hot path shows up as a per-commit regression, budget 2%.
+        report["service"]["tracing_overhead"] = run_tracing_overhead(
+            seed=seed
         )
     if resilience:
         # Availability / shed / deadline-miss under injected faults and

@@ -34,7 +34,12 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["run_cluster_loadgen", "run_loadgen", "percentile"]
+__all__ = [
+    "run_cluster_loadgen",
+    "run_loadgen",
+    "run_tracing_overhead",
+    "percentile",
+]
 
 DEFAULT_CODECS = ("bitshuffle-zstd", "gorilla", "auto")
 DEFAULT_DATASET = "tpcH-order"
@@ -114,6 +119,7 @@ def run_loadgen(
     server_jobs: int | None = None,
     batch_window: float = 0.002,
     verify: bool = True,
+    trace: bool = False,
     on_result: Callable[[dict], None] | None = None,
 ) -> dict:
     """Run the load matrix; returns a JSON-ready report.
@@ -122,7 +128,10 @@ def run_loadgen(
     decompress round trips each over the same ``dataset`` slice.  With
     ``verify`` the served stream is additionally checked byte-identical
     to the local ``compress_array`` output for every codec (outside the
-    timed loop).
+    timed loop).  ``trace`` turns on distributed tracing end to end:
+    the self-served server records spans and every loadgen client
+    stamps trace context onto the wire (against an external ``host``
+    only the client side can be switched on here).
     """
     from repro.data.loader import load
 
@@ -134,7 +143,9 @@ def run_loadgen(
     if host is None:
         from repro.service.server import serve_background
 
-        handle = serve_background(jobs=server_jobs, batch_window=batch_window)
+        handle = serve_background(
+            jobs=server_jobs, batch_window=batch_window, trace=trace
+        )
         host, port = handle.host, handle.port
     if port is None:
         raise ValueError("port is required when host is given")
@@ -146,13 +157,14 @@ def run_loadgen(
         "connections": connections,
         "requests_per_connection": requests,
         "self_served": handle is not None,
+        "trace": bool(trace),
         "codecs": [],
     }
     try:
         for codec in codecs:
             cell = _run_codec(
                 host, port, array, codec, chunk_elements,
-                connections, requests, verify,
+                connections, requests, verify, trace,
             )
             report["codecs"].append(cell)
             if on_result is not None:
@@ -179,11 +191,12 @@ def _run_codec(
     connections: int,
     requests: int,
     verify: bool,
+    trace: bool = False,
 ) -> dict:
     from repro.service.client import ServiceClient
 
     def factory() -> ServiceClient:
-        return ServiceClient(host, port, pool_size=1)
+        return ServiceClient(host, port, pool_size=1, trace=trace)
 
     identical = None
     if verify:
@@ -259,6 +272,76 @@ def _drive_workers(
         "throughput_mbs": moved / 1e6 / wall if wall > 0 else 0.0,
         "compress": _latency_summary(compress_s),
         "decompress": _latency_summary(decompress_s),
+    }
+
+
+def run_tracing_overhead(
+    *,
+    connections: int = 4,
+    requests: int = 16,
+    elements: int = 4096,
+    chunk_elements: int = 1024,
+    codec: str = "bitshuffle-zstd",
+    dataset: str = DEFAULT_DATASET,
+    seed: int = 0,
+    server_jobs: int | None = None,
+    batch_window: float = 0.002,
+    repeats: int = 3,
+    budget_pct: float = 2.0,
+) -> dict:
+    """Measure what end-to-end tracing costs in served throughput.
+
+    Runs the self-served loadgen ``repeats`` times per mode in
+    alternating order (off, on, off, on, …) so drift hits both modes
+    equally, then compares the *best* aggregate throughput of each mode
+    — the max is the least scheduler-noisy summary of a short run.  A
+    traced pass pays for 24 trace-context bytes per request on the
+    wire, span bookkeeping on both ends, and the ring-buffer write.
+
+    Returns a JSON-ready section for ``BENCH_<git-sha>.json``:
+    ``overhead_pct`` (positive = tracing is slower) and
+    ``within_budget`` against ``budget_pct``.
+    """
+
+    def _one(trace: bool) -> float:
+        report = run_loadgen(
+            connections=connections,
+            requests=requests,
+            elements=elements,
+            chunk_elements=chunk_elements,
+            codecs=(codec,),
+            dataset=dataset,
+            seed=seed,
+            server_jobs=server_jobs,
+            batch_window=batch_window,
+            verify=False,
+            trace=trace,
+        )
+        return float(report["codecs"][0]["throughput_mbs"])
+
+    baseline: list[float] = []
+    traced: list[float] = []
+    for _ in range(max(1, repeats)):
+        baseline.append(_one(False))
+        traced.append(_one(True))
+    best_base = max(baseline)
+    best_traced = max(traced)
+    overhead_pct = (
+        (1.0 - best_traced / best_base) * 100.0 if best_base > 0 else 0.0
+    )
+    return {
+        "codec": codec,
+        "connections": connections,
+        "requests_per_connection": requests,
+        "elements": elements,
+        "repeats": max(1, repeats),
+        "baseline_throughput_mbs": best_base,
+        "traced_throughput_mbs": best_traced,
+        "baseline_runs_mbs": baseline,
+        "traced_runs_mbs": traced,
+        "overhead_pct": overhead_pct,
+        "budget_pct": float(budget_pct),
+        "within_budget": bool(overhead_pct < budget_pct),
     }
 
 

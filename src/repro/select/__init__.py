@@ -28,6 +28,7 @@ from repro.select.features import (
     extract_features,
 )
 from repro.select.online import (
+    PRODUCTION_LATENCY_WEIGHT,
     OnlinePolicy,
     OnlineSelectorHub,
     feature_bucket,
@@ -66,6 +67,7 @@ __all__ = [
     "MeasuredPolicy",
     "OnlinePolicy",
     "OnlineSelectorHub",
+    "PRODUCTION_LATENCY_WEIGHT",
     "SelectionDecision",
     "SelectionPolicy",
     "codec_instance",

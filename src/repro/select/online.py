@@ -50,6 +50,7 @@ __all__ = [
     "feature_bucket",
     "OnlinePolicy",
     "OnlineSelectorHub",
+    "PRODUCTION_LATENCY_WEIGHT",
 ]
 
 
@@ -264,6 +265,17 @@ class OnlinePolicy(SelectionPolicy):
         }
 
 
+#: Latency toll applied by the serving profile's reward
+#: (:class:`OnlineSelectorHub` default): reward = byte saving −
+#: weight × seconds-per-MiB.  At 2.0, a codec running 100 MiB/s pays
+#: 0.02 reward, 10 MiB/s pays 0.2, and 2 MiB/s forfeits the whole
+#: saving — a marginally tighter but much slower arm loses to a fast
+#: near-tight one, which is the trade a latency-sensitive service
+#: wants.  Offline :class:`OnlinePolicy` use keeps the pure
+#: compression-ratio reward (weight 0) unless asked.
+PRODUCTION_LATENCY_WEIGHT = 2.0
+
+
 class OnlineSelectorHub:
     """Per-tenant bandits behind one lock, for the serving path.
 
@@ -274,6 +286,11 @@ class OnlineSelectorHub:
     seed, so a restarted server with the same tenant set replays the
     same exploration — and adding a tenant never perturbs another
     tenant's sequence.
+
+    The hub is the production profile, so its policies default to the
+    latency-aware reward (``latency_weight``
+    :data:`PRODUCTION_LATENCY_WEIGHT`); pass ``latency_weight=0.0`` to
+    reward compression ratio alone.
     """
 
     #: Tenant key used when the server runs without a tenant registry.
@@ -281,6 +298,9 @@ class OnlineSelectorHub:
 
     def __init__(self, seed: int = 0, **policy_options) -> None:
         self.seed = int(seed)
+        policy_options.setdefault(
+            "latency_weight", PRODUCTION_LATENCY_WEIGHT
+        )
         self._policy_options = policy_options
         self._lock = threading.Lock()
         self._policies: dict[str, OnlinePolicy] = {}

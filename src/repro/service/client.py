@@ -37,6 +37,7 @@ import numpy as np
 from repro.api.frames import DEFAULT_CHUNK_ELEMENTS
 from repro.client import CompressionClient, deprecated_kwarg
 from repro.errors import ProtocolError, ServerOverloadedError
+from repro.obs import NULL_SPAN, SpanRecorder
 from repro.service import protocol
 from repro.service.resilience import Deadline, RetryBudget, RetryPolicy
 from repro.service.protocol import (
@@ -49,6 +50,7 @@ from repro.service.protocol import (
     PING,
     SELECT_EXPLAIN,
     STATS,
+    TRACE,
     Frame,
     FrameParser,
     encode_frame,
@@ -82,11 +84,12 @@ class _Connection:
         deadline: Deadline | None = None,
         deadline_ms: int | None = None,
         tenant_token: str | None = None,
+        trace_context: bytes | None = None,
     ) -> Frame:
         """One round trip.  ``timeout`` caps each socket operation;
         ``deadline`` (when given) additionally caps the *whole* wait,
-        and ``deadline_ms`` / ``tenant_token`` ride on the wire for the
-        server to enforce.
+        and ``deadline_ms`` / ``tenant_token`` / ``trace_context`` ride
+        on the wire for the server to enforce (or join, for tracing).
         """
         if deadline is not None:
             remaining = deadline.remaining()
@@ -102,6 +105,7 @@ class _Connection:
                 payload,
                 deadline_ms,
                 tenant_token=tenant_token,
+                trace_context=trace_context,
             )
         )
         while True:
@@ -194,6 +198,15 @@ class ServiceClient(CompressionClient):
         skip expired work.  Off by default: a flagged frame is not
         parseable by pre-deadline servers, so enabling this is the
         caller's statement that the server is new enough.
+    trace:
+        Client-side distributed tracing.  ``True`` gives the client its
+        own :class:`~repro.obs.spans.SpanRecorder`; passing a recorder
+        shares one (the cluster client does this so failover renders in
+        one tree).  Every request then opens a ``client.request`` root
+        with a ``client.attempt`` child per try, and each attempt's
+        span context rides the wire (``FLAG_TRACE``) so a traced server
+        joins the same trace.  Off by default — untraced clients send
+        byte-identical frames to previous releases.
 
     Retry semantics: transient transport faults and typed
     ``ServerOverloadedError`` sheds are retried (the latter honoring
@@ -218,6 +231,7 @@ class ServiceClient(CompressionClient):
         retry_policy: RetryPolicy | None = None,
         retry_budget: RetryBudget | None = None,
         propagate_deadline: bool = False,
+        trace: bool | SpanRecorder = False,
         retries: int | None = None,
         timeout: float | None = None,
     ) -> None:
@@ -244,6 +258,14 @@ class ServiceClient(CompressionClient):
             deadline if attempt_timeout is None else attempt_timeout
         )
         self.max_payload = int(max_payload)
+        self.recorder = (
+            trace
+            if isinstance(trace, SpanRecorder)
+            else SpanRecorder(enabled=bool(trace))
+        )
+        # The cluster client parents this client's request spans under
+        # its per-replica spans; plain callers leave it unset.
+        self._trace_parent = threading.local()
         self._pool: list[_Connection] = []
         self._lock = threading.Lock()
         self._next_id = 0
@@ -299,73 +321,123 @@ class ServiceClient(CompressionClient):
         op_deadline = self._resolve_deadline(deadline)
         request_id = self._request_id()
         self.retry_budget.record_call()
+        root = self.recorder.span(
+            "client.request",
+            parent=getattr(self._trace_parent, "ctx", None),
+            attributes={
+                "op": protocol.REQUEST_NAMES.get(frame_type, "unknown"),
+                "request_id": request_id,
+            },
+        )
         last: BaseException | None = None
         attempts = 0
-        while True:
-            attempts += 1
-            conn: _Connection | None = None
-            kept = False
-            try:
-                connect_timeout = op_deadline.clamp(self.attempt_timeout)
-                if connect_timeout <= 0:
-                    raise TimeoutError(
-                        f"operation deadline expired after {attempts - 1} "
-                        f"attempt(s): {last}"
+        attempt = NULL_SPAN
+        try:
+            while True:
+                attempts += 1
+                conn: _Connection | None = None
+                kept = False
+                attempt = self.recorder.span(
+                    "client.attempt",
+                    parent=root,
+                    attributes={"attempt": attempts},
+                )
+                # The attempt span's context rides the wire: the server
+                # span becomes this attempt's child, so a redialed retry
+                # is a *sibling* attempt in the same trace.
+                ctx = attempt.context
+                try:
+                    connect_timeout = op_deadline.clamp(self.attempt_timeout)
+                    if connect_timeout <= 0:
+                        raise TimeoutError(
+                            f"operation deadline expired after {attempts - 1} "
+                            f"attempt(s): {last}"
+                        )
+                    conn = self._checkout(connect_timeout)
+                    deadline_ms = (
+                        op_deadline.remaining_ms()
+                        if self.propagate_deadline
+                        else None
                     )
-                conn = self._checkout(connect_timeout)
-                deadline_ms = (
-                    op_deadline.remaining_ms()
-                    if self.propagate_deadline
-                    else None
-                )
-                frame = conn.request(
-                    frame_type,
-                    request_id,
-                    payload,
-                    timeout=self.attempt_timeout,
-                    deadline=op_deadline,
-                    deadline_ms=deadline_ms,
-                    tenant_token=self.token,
-                )
-                self._checkin(conn)
-                kept = True
-                return _check_response(frame, frame_type, request_id)
-            except TimeoutError:
-                # A slow request is not a transport fault: the server
-                # may still be executing it, so replaying would double
-                # its work.  Surface the timeout as a timeout.
-                raise
-            except ServerOverloadedError as exc:
-                # The server shed the request before queueing it, so a
-                # replay is free of double-execution risk — wait out
-                # the server's hint (budget permitting) and try again.
-                last = exc
-                if not self._may_retry(attempts, op_deadline):
+                    frame = conn.request(
+                        frame_type,
+                        request_id,
+                        payload,
+                        timeout=self.attempt_timeout,
+                        deadline=op_deadline,
+                        deadline_ms=deadline_ms,
+                        tenant_token=self.token,
+                        trace_context=ctx.to_wire() if ctx else None,
+                    )
+                    self._checkin(conn)
+                    kept = True
+                    result = _check_response(frame, frame_type, request_id)
+                    attempt.finish()
+                    attempt = NULL_SPAN
+                    root.finish()
+                    return result
+                except TimeoutError:
+                    # A slow request is not a transport fault: the server
+                    # may still be executing it, so replaying would double
+                    # its work.  Surface the timeout as a timeout.
                     raise
-                delay = self.retry_policy.delay(attempts - 1)
-                if exc.retry_after_ms is not None:
-                    delay = max(delay, exc.retry_after_ms / 1e3)
-                if delay >= op_deadline.remaining():
-                    raise
-                time.sleep(delay)
-            except _TRANSIENT as exc:
-                # The connection is poisoned either way; retry dials a
-                # fresh one.  ProtocolError is deliberately NOT retried:
-                # the server is answering, just not speaking FCS.
-                last = exc
-                if not self._may_retry(attempts, op_deadline):
-                    raise ProtocolError(
-                        f"request failed after {attempts} attempt(s): {last}"
-                    ) from last
-                time.sleep(op_deadline.clamp(self.retry_policy.delay(attempts - 1)))
-            finally:
-                # Satellite of the resilience work: every checked-out
-                # connection is either back in the pool or closed, on
-                # *every* exit path — success, typed error, timeout,
-                # transport fault, or an exception raised between
-                # checkout and checkin.
-                if conn is not None and not kept:
-                    conn.close()
+                except ServerOverloadedError as exc:
+                    # The server shed the request before queueing it, so a
+                    # replay is free of double-execution risk — wait out
+                    # the server's hint (budget permitting) and try again.
+                    last = exc
+                    attempt.set_error(exc)
+                    attempt.finish()
+                    attempt = NULL_SPAN
+                    if not self._may_retry(attempts, op_deadline):
+                        raise
+                    delay = self.retry_policy.delay(attempts - 1)
+                    if exc.retry_after_ms is not None:
+                        delay = max(delay, exc.retry_after_ms / 1e3)
+                    if delay >= op_deadline.remaining():
+                        raise
+                    with self.recorder.span(
+                        "client.backoff", parent=root
+                    ) as nap:
+                        nap.set_attribute("seconds", delay)
+                        time.sleep(delay)
+                except _TRANSIENT as exc:
+                    # The connection is poisoned either way; retry dials a
+                    # fresh one.  ProtocolError is deliberately NOT retried:
+                    # the server is answering, just not speaking FCS.
+                    last = exc
+                    attempt.set_error(exc)
+                    attempt.set_attribute("redial", True)
+                    attempt.finish()
+                    attempt = NULL_SPAN
+                    if not self._may_retry(attempts, op_deadline):
+                        raise ProtocolError(
+                            f"request failed after {attempts} attempt(s): "
+                            f"{last}"
+                        ) from last
+                    delay = op_deadline.clamp(
+                        self.retry_policy.delay(attempts - 1)
+                    )
+                    with self.recorder.span(
+                        "client.backoff", parent=root
+                    ) as nap:
+                        nap.set_attribute("seconds", delay)
+                        time.sleep(delay)
+                finally:
+                    # Satellite of the resilience work: every checked-out
+                    # connection is either back in the pool or closed, on
+                    # *every* exit path — success, typed error, timeout,
+                    # transport fault, or an exception raised between
+                    # checkout and checkin.
+                    if conn is not None and not kept:
+                        conn.close()
+        except BaseException as exc:
+            if attempt:
+                attempt.set_error(exc)
+                attempt.finish()
+            root.set_error(exc)
+            root.finish()
+            raise
 
     # -- request surface -----------------------------------------------
     # Every method takes an optional ``deadline``: seconds (or a
@@ -454,6 +526,24 @@ class ServiceClient(CompressionClient):
             self._request(CLUSTER_CONTROL, payload, deadline).payload
         )
 
+    def trace(
+        self,
+        limit: int | None = None,
+        trace_id: str | None = None,
+        *,
+        deadline=None,
+    ) -> dict:
+        """The peer's span-recorder document (``fcbench trace`` remote).
+
+        ``trace_id`` narrows the answer to one trace; otherwise the
+        most recent ``limit`` spans.  A peer with tracing disabled
+        answers honestly (``stats.enabled: false``, no spans).
+        """
+        payload = protocol.encode_trace_request(limit, trace_id)
+        return protocol.decode_json(
+            self._request(TRACE, payload, deadline).payload
+        )
+
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
         with self._lock:
@@ -485,6 +575,7 @@ class AsyncServiceClient:
         *,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
         token: str | None = None,
+        trace: bool | SpanRecorder = False,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -492,6 +583,11 @@ class AsyncServiceClient:
         self._next_id = 0
         self._lock = asyncio.Lock()
         self.token = token
+        self.recorder = (
+            trace
+            if isinstance(trace, SpanRecorder)
+            else SpanRecorder(enabled=bool(trace))
+        )
 
     @classmethod
     async def connect(
@@ -502,6 +598,7 @@ class AsyncServiceClient:
         attempt_timeout: float | None = None,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
         token: str | None = None,
+        trace: bool | SpanRecorder = False,
         timeout: float | None = None,
     ) -> "AsyncServiceClient":
         attempt_timeout = deprecated_kwarg(
@@ -511,35 +608,54 @@ class AsyncServiceClient:
             asyncio.open_connection(host, port),
             30.0 if attempt_timeout is None else attempt_timeout,
         )
-        return cls(reader, writer, max_payload=max_payload, token=token)
+        return cls(
+            reader, writer, max_payload=max_payload, token=token, trace=trace
+        )
 
     async def _request(self, frame_type: int, payload: bytes) -> Frame:
         async with self._lock:  # one in-flight request per connection
             self._next_id += 1
             request_id = self._next_id
-            self._writer.write(
-                encode_frame(
-                    frame_type,
-                    request_id,
-                    payload,
-                    tenant_token=self.token,
-                )
+            span = self.recorder.span(
+                "client.request",
+                attributes={
+                    "op": protocol.REQUEST_NAMES.get(frame_type, "unknown"),
+                    "request_id": request_id,
+                },
             )
-            await self._writer.drain()
-            while True:
-                data = await self._reader.read(1 << 16)
-                if not data:
-                    raise ConnectionError(
-                        "server closed the connection mid-reply"
+            ctx = span.context
+            try:
+                self._writer.write(
+                    encode_frame(
+                        frame_type,
+                        request_id,
+                        payload,
+                        tenant_token=self.token,
+                        trace_context=ctx.to_wire() if ctx else None,
                     )
-                frames = self._parser.feed(data)
-                if frames:
-                    if len(frames) > 1:
-                        raise ProtocolError(
-                            "server answered one request with "
-                            f"{len(frames)} frames"
+                )
+                await self._writer.drain()
+                while True:
+                    data = await self._reader.read(1 << 16)
+                    if not data:
+                        raise ConnectionError(
+                            "server closed the connection mid-reply"
                         )
-                    return _check_response(frames[0], frame_type, request_id)
+                    frames = self._parser.feed(data)
+                    if frames:
+                        if len(frames) > 1:
+                            raise ProtocolError(
+                                "server answered one request with "
+                                f"{len(frames)} frames"
+                            )
+                        return _check_response(
+                            frames[0], frame_type, request_id
+                        )
+            except BaseException as exc:
+                span.set_error(exc)
+                raise
+            finally:
+                span.finish()
 
     async def ping(self, payload: bytes = b"fcbench") -> float:
         start = time.perf_counter()
@@ -593,6 +709,13 @@ class AsyncServiceClient:
     ) -> dict:
         payload = protocol.encode_control(action, node)
         frame = await self._request(CLUSTER_CONTROL, payload)
+        return protocol.decode_json(frame.payload)
+
+    async def trace(
+        self, limit: int | None = None, trace_id: str | None = None
+    ) -> dict:
+        payload = protocol.encode_trace_request(limit, trace_id)
+        frame = await self._request(TRACE, payload)
         return protocol.decode_json(frame.payload)
 
     async def close(self) -> None:

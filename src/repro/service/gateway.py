@@ -19,6 +19,17 @@ bolts a tiny read-only HTTP sidecar onto a running
     The tenancy and online-selection sections as JSON — quota windows,
     lifetime totals, bandit arm means — for humans and tooling that
     want structure rather than flat samples.
+``GET /trace``
+    The span recorder's recent window as JSON (stats, distinct trace
+    ids, span dicts; ``?limit=N`` bounds the window).  404 when the
+    server runs without ``--trace`` — absent, not broken.
+``GET /trace/<trace-id>``
+    One trace as a flat span list plus its nested parent→child tree.
+``GET /trace/chrome``
+    The recent window as Chrome ``chrome://tracing`` / Perfetto JSON
+    (``{"traceEvents": [...]}``) — save and load it in the browser.
+
+Non-GET methods get a proper 405 with an ``Allow: GET`` header.
 
 Everything is stdlib (:mod:`http.server` on a daemon thread): the
 gateway adds no dependencies and no load-bearing state.  It only ever
@@ -31,8 +42,12 @@ tenants.
 from __future__ import annotations
 
 import json
+import platform
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs import build_trace_tree, chrome_trace_events
 
 __all__ = ["ObservabilityGateway", "render_prometheus"]
 
@@ -86,6 +101,39 @@ class _Family:
             else:
                 lines.append(f"{self.name} {_fmt(value)}")
         return "\n".join(lines)
+
+
+def render_gateway_meta(node_id: str | None, scrape_seconds: float) -> str:
+    """The gateway's own exposition tail: build info + scrape cost.
+
+    ``fcbench_build_info`` is the Prometheus info-metric idiom — a
+    constant ``1`` whose labels carry the interesting values — and the
+    scrape-duration gauge makes the cost of ``/metrics`` itself
+    visible (a snapshot that starts crawling is an incident signal).
+    """
+    import repro
+
+    base = {"node": node_id} if node_id else {}
+    info = _Family(
+        "fcbench_build_info",
+        "gauge",
+        "Constant 1; labels carry the build version and Python runtime.",
+    )
+    info.add(
+        {
+            **base,
+            "version": repro.__version__,
+            "python": platform.python_version(),
+        },
+        1,
+    )
+    dur = _Family(
+        "fcbench_gateway_scrape_duration_seconds",
+        "gauge",
+        "Seconds the gateway spent producing this /metrics answer.",
+    )
+    dur.add(base, scrape_seconds)
+    return info.render() + "\n" + dur.render() + "\n"
 
 
 def render_prometheus(document: dict, node_id: str | None = None) -> str:
@@ -339,13 +387,79 @@ class ObservabilityGateway:
                 self.end_headers()
                 self.wfile.write(body)
 
+            def _send_json(self, status: int, body) -> None:
+                self._send(
+                    status,
+                    _CONTENT_TYPE_JSON,
+                    json.dumps(body, sort_keys=True).encode("utf-8"),
+                )
+
+            def _query_limit(self) -> int | None:
+                _, _, query = self.path.partition("?")
+                for pair in query.split("&"):
+                    key, _, value = pair.partition("=")
+                    if key == "limit" and value.isdigit():
+                        return int(value)
+                return None
+
+            def _do_trace(self, path: str) -> None:
+                recorder = getattr(compression_server, "recorder", None)
+                if recorder is None or not recorder.enabled:
+                    # Absent, not broken: the server runs untraced.
+                    self._send_json(404, {"error": "tracing disabled"})
+                    return
+                node_id = compression_server.effective_node_id
+                if path == "/trace":
+                    self._send_json(
+                        200,
+                        {
+                            "node": node_id,
+                            "stats": recorder.stats(),
+                            "trace_ids": recorder.trace_ids(),
+                            "spans": recorder.snapshot(self._query_limit()),
+                        },
+                    )
+                elif path == "/trace/chrome":
+                    self._send_json(
+                        200,
+                        {
+                            "traceEvents": chrome_trace_events(
+                                recorder.snapshot(self._query_limit())
+                            )
+                        },
+                    )
+                else:
+                    # Trace ids are 32 hex chars, so they can never
+                    # collide with the "chrome" sub-path above.
+                    trace_id = path[len("/trace/") :]
+                    spans = recorder.trace(trace_id)
+                    if not spans:
+                        self._send_json(
+                            404, {"error": f"no trace {trace_id!r}"}
+                        )
+                        return
+                    self._send_json(
+                        200,
+                        {
+                            "node": node_id,
+                            "trace_id": trace_id,
+                            "spans": spans,
+                            "tree": build_trace_tree(spans),
+                        },
+                    )
+
             def do_GET(self) -> None:  # noqa: N802 (http.server API)
                 path = self.path.split("?", 1)[0]
                 try:
                     if path == "/metrics":
+                        scrape_started = time.perf_counter()
                         document = compression_server.stats_document()
                         text = render_prometheus(
                             document, compression_server.effective_node_id
+                        )
+                        text += render_gateway_meta(
+                            compression_server.effective_node_id,
+                            time.perf_counter() - scrape_started,
                         )
                         self._send(
                             200, _CONTENT_TYPE_PROM, text.encode("utf-8")
@@ -370,6 +484,8 @@ class ObservabilityGateway:
                             _CONTENT_TYPE_JSON,
                             json.dumps(body, sort_keys=True).encode("utf-8"),
                         )
+                    elif path == "/trace" or path.startswith("/trace/"):
+                        self._do_trace(path)
                     else:
                         self._send(
                             404, _CONTENT_TYPE_JSON, b'{"error": "not found"}'
@@ -380,6 +496,23 @@ class ObservabilityGateway:
                         _CONTENT_TYPE_JSON,
                         json.dumps({"error": str(exc)}).encode("utf-8"),
                     )
+
+            def _method_not_allowed(self) -> None:
+                body = b'{"error": "method not allowed"}'
+                self.send_response(405)
+                self.send_header("Allow", "GET")
+                self.send_header("Content-Type", _CONTENT_TYPE_JSON)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            # A read-only gateway: every mutating (or headless) verb is
+            # answered 405 + Allow, not the default 501 or a 404.
+            do_POST = _method_not_allowed  # noqa: N815 (http.server API)
+            do_PUT = _method_not_allowed  # noqa: N815
+            do_DELETE = _method_not_allowed  # noqa: N815
+            do_PATCH = _method_not_allowed  # noqa: N815
+            do_HEAD = _method_not_allowed  # noqa: N815
 
         self._httpd = ThreadingHTTPServer(
             (self.host, self._requested_port), Handler

@@ -71,13 +71,17 @@ __all__ = [
     "CLUSTER_TOPOLOGY",
     "HEALTH",
     "CLUSTER_CONTROL",
+    "TRACE",
     "ERROR",
     "RESPONSE_BIT",
     "FLAG_BIT",
     "FLAG_DEADLINE",
     "FLAG_TENANT",
+    "FLAG_TRACE",
     "MAX_TOKEN_BYTES",
+    "TRACE_CONTEXT_BYTES",
     "REQUEST_TYPES",
+    "REQUEST_NAMES",
     "NODE_STATES",
     "CONTROL_ACTIONS",
     "ERR_PROTOCOL",
@@ -109,6 +113,8 @@ __all__ = [
     "decode_topology",
     "encode_control",
     "decode_control",
+    "encode_trace_request",
+    "decode_trace_request",
     "encode_error",
     "decode_error",
     "encode_overload_error",
@@ -145,6 +151,11 @@ HEALTH = 0x07
 #: Supervisor control verb (drain / restart / status); compression
 #: nodes do not speak it, only the supervisor's control endpoint does.
 CLUSTER_CONTROL = 0x08
+#: Span retrieval: a node answers with its recorder's recent spans (or
+#: one trace's spans) as JSON; the supervisor's control endpoint
+#: answers with every node's spans merged.  ``fcbench trace`` and
+#: ``fcbench cluster trace`` ride on it.
+TRACE = 0x09
 RESPONSE_BIT = 0x80
 #: Flagged *request* header: a request type with this bit set carries a
 #: flags uvarint (and flag-dependent fields) between the request id and
@@ -158,9 +169,16 @@ FLAG_DEADLINE = 0x01
 #: Flag: the header carries a tenant auth token (uvarint length +
 #: UTF-8 bytes), placed after the deadline budget when both ride.
 FLAG_TENANT = 0x02
-_KNOWN_FLAGS = FLAG_DEADLINE | FLAG_TENANT
+#: Flag: the header carries a trace context — 16 trace-id bytes plus 8
+#: parent-span-id bytes, fixed width (random ids do not compress and
+#: fixed offsets keep parsing trivial) — placed after the tenant field
+#: in flag-bit order.
+FLAG_TRACE = 0x04
+_KNOWN_FLAGS = FLAG_DEADLINE | FLAG_TENANT | FLAG_TRACE
 #: Upper bound on one tenant token's encoded length.
 MAX_TOKEN_BYTES = 128
+#: Exact width of the FLAG_TRACE field (trace id ++ parent span id).
+TRACE_CONTEXT_BYTES = 24
 #: Typed failure response (any request may answer with it).
 ERROR = 0xFF
 
@@ -173,7 +191,22 @@ REQUEST_TYPES = (
     CLUSTER_TOPOLOGY,
     HEALTH,
     CLUSTER_CONTROL,
+    TRACE,
 )
+
+#: Human-readable operation names, shared by the server's metrics, the
+#: clients' trace spans, and log lines — one spelling everywhere.
+REQUEST_NAMES = {
+    PING: "ping",
+    COMPRESS: "compress",
+    DECOMPRESS: "decompress",
+    SELECT_EXPLAIN: "select-explain",
+    STATS: "stats",
+    CLUSTER_TOPOLOGY: "topology",
+    HEALTH: "health",
+    CLUSTER_CONTROL: "control",
+    TRACE: "trace",
+}
 
 # Error codes carried by ERROR payloads, mapped to library exceptions.
 ERR_PROTOCOL = 1
@@ -232,7 +265,9 @@ class Frame:
     :data:`FLAG_BIT` after decoding the flagged fields — so dispatch
     code never has to mask.  ``deadline_ms`` is the remaining deadline
     budget the request arrived with, ``tenant_token`` the auth token it
-    carried; both are ``None`` for frames without the matching flag.
+    carried, ``trace_context`` the raw 24-byte trace header (the obs
+    layer decodes it — the protocol stays sans-tracing); each is
+    ``None`` for frames without the matching flag.
     """
 
     frame_type: int
@@ -240,6 +275,7 @@ class Frame:
     payload: bytes
     deadline_ms: int | None = None
     tenant_token: str | None = None
+    trace_context: bytes | None = None
 
     @property
     def is_error(self) -> bool:
@@ -252,20 +288,23 @@ def encode_frame(
     payload: bytes,
     deadline_ms: int | None = None,
     tenant_token: str | None = None,
+    trace_context: bytes | None = None,
 ) -> bytes:
     """Serialize one frame (header, payload, payload CRC-32).
 
-    A ``deadline_ms`` budget and/or a ``tenant_token`` may only ride on
-    plain request types; either sets :data:`FLAG_BIT` on the type byte
-    and inserts the flags uvarint (then the deadline uvarint, then the
-    length-prefixed token, in flag-bit order) after the request id.
-    Without them the emitted bytes are identical to protocol version 1.
+    A ``deadline_ms`` budget, a ``tenant_token``, and/or a 24-byte
+    ``trace_context`` may only ride on plain request types; any of them
+    sets :data:`FLAG_BIT` on the type byte and inserts the flags
+    uvarint (then the deadline uvarint, the length-prefixed token, and
+    the fixed-width trace context, in flag-bit order) after the request
+    id.  Without them the emitted bytes are identical to protocol
+    version 1.
     """
     if not 0 <= frame_type <= 0xFF:
         raise ValueError(f"frame type {frame_type} out of range")
     payload = bytes(payload)
     head = [MAGIC]
-    if deadline_ms is None and tenant_token is None:
+    if deadline_ms is None and tenant_token is None and trace_context is None:
         head.append(bytes([frame_type]))
         head.append(encode_uvarint(request_id))
     else:
@@ -287,6 +326,14 @@ def encode_frame(
                     f"bytes, got {len(token_bytes)}"
                 )
             flags |= FLAG_TENANT
+        if trace_context is not None:
+            trace_context = bytes(trace_context)
+            if len(trace_context) != TRACE_CONTEXT_BYTES:
+                raise ValueError(
+                    f"trace context must be {TRACE_CONTEXT_BYTES} bytes, "
+                    f"got {len(trace_context)}"
+                )
+            flags |= FLAG_TRACE
         head.append(bytes([frame_type | FLAG_BIT]))
         head.append(encode_uvarint(request_id))
         head.append(encode_uvarint(flags))
@@ -295,6 +342,8 @@ def encode_frame(
         if tenant_token is not None:
             head.append(encode_uvarint(len(token_bytes)))
             head.append(token_bytes)
+        if trace_context is not None:
+            head.append(trace_context)
     return b"".join(
         head
         + [
@@ -365,6 +414,7 @@ class FrameParser:
         request_id, pos = head
         deadline_ms: int | None = None
         tenant_token: str | None = None
+        trace_context: bytes | None = None
         # Flags only exist on *known* request types: an unknown type
         # with the 0x40 bit (e.g. a newer protocol's frame) must keep
         # the legacy layout so it still parses and earns the typed
@@ -406,6 +456,11 @@ class FrameParser:
                 except UnicodeDecodeError as exc:
                     raise ProtocolError("undecodable tenant token") from exc
                 pos += token_len
+            if flags & FLAG_TRACE:
+                if pos + TRACE_CONTEXT_BYTES > len(buf):
+                    return None, 0
+                trace_context = bytes(buf[pos : pos + TRACE_CONTEXT_BYTES])
+                pos += TRACE_CONTEXT_BYTES
         head = _take_uvarint(buf, pos, "payload length")
         if head is None:
             return None, 0
@@ -427,7 +482,14 @@ class FrameParser:
                 f"payload hashes to {actual:#010x}"
             )
         return (
-            Frame(frame_type, request_id, payload, deadline_ms, tenant_token),
+            Frame(
+                frame_type,
+                request_id,
+                payload,
+                deadline_ms,
+                tenant_token,
+                trace_context,
+            ),
             end,
         )
 
@@ -720,6 +782,53 @@ def decode_control(payload: bytes) -> tuple[str, str | None]:
     ):
         raise ProtocolError(f"bad control target node {node!r}")
     return action, node
+
+
+#: Upper bound a trace request's span limit may ask for; a recorder
+#: ring is bounded anyway, this just keeps the knob honest on the wire.
+_MAX_TRACE_LIMIT = 65536
+
+
+def encode_trace_request(
+    limit: int | None = None, trace_id: str | None = None
+) -> bytes:
+    """Build a ``TRACE`` payload: optional span limit and/or trace id.
+
+    An empty body (both ``None``) asks for the peer's recent-span
+    window; ``trace_id`` narrows the answer to one trace.
+    """
+    body: dict = {}
+    if limit is not None:
+        if not 1 <= limit <= _MAX_TRACE_LIMIT:
+            raise ValueError(
+                f"trace limit must be 1..{_MAX_TRACE_LIMIT}, got {limit}"
+            )
+        body["limit"] = int(limit)
+    if trace_id is not None:
+        if not trace_id or len(trace_id) > 64:
+            raise ValueError(f"bad trace id {trace_id!r}")
+        body["trace_id"] = trace_id
+    return encode_json(body) if body else b""
+
+
+def decode_trace_request(payload: bytes) -> tuple[int | None, str | None]:
+    """Parse a ``TRACE`` payload -> (limit-or-None, trace-id-or-None)."""
+    if not payload:
+        return None, None
+    body = decode_json(payload)
+    limit = body.get("limit")
+    if limit is not None and not (
+        isinstance(limit, int)
+        and not isinstance(limit, bool)
+        and 1 <= limit <= _MAX_TRACE_LIMIT
+    ):
+        raise ProtocolError(f"implausible trace limit {limit!r}")
+    trace_id = body.get("trace_id")
+    if trace_id is not None and not (
+        isinstance(trace_id, str) and 1 <= len(trace_id) <= 64
+    ):
+        raise ProtocolError(f"bad trace id {trace_id!r}")
+    return limit, trace_id
 
 
 # ----------------------------------------------------------------------

@@ -50,6 +50,7 @@ event loop — the embedding used by the tests, the load generator, and
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from concurrent import futures
@@ -57,6 +58,15 @@ from functools import partial
 
 from repro.core.executor import map_ordered, resolve_jobs
 from repro.errors import AuthenticationError, ProtocolError, ReproError
+from repro.obs import (
+    NULL_SPAN,
+    SlowRequestSampler,
+    Span,
+    SpanRecorder,
+    TraceContext,
+    configure_logging,
+    get_logger,
+)
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
@@ -75,6 +85,7 @@ from repro.service.protocol import (
     REQUEST_TYPES,
     SELECT_EXPLAIN,
     STATS,
+    TRACE,
     Frame,
     FrameParser,
     encode_error,
@@ -97,15 +108,7 @@ _READ_SIZE = 1 << 16
 #: Request types that go through batching, the admission gate, and
 #: deadline enforcement; everything else is answered inline.
 _HEAVY_TYPES = (COMPRESS, DECOMPRESS, SELECT_EXPLAIN)
-_OP_NAMES = {
-    PING: "ping",
-    COMPRESS: "compress",
-    DECOMPRESS: "decompress",
-    SELECT_EXPLAIN: "select-explain",
-    STATS: "stats",
-    CLUSTER_TOPOLOGY: "topology",
-    HEALTH: "health",
-}
+_OP_NAMES = dict(protocol.REQUEST_NAMES)
 
 
 # ----------------------------------------------------------------------
@@ -122,12 +125,24 @@ def _execute_request(item: tuple) -> tuple:
     """Execute one heavy request; returns an ("ok"|"err", ...) tuple.
 
     Pure function of the request payload (plus an optional codec
-    override the bandit decided before the fan-out) — no server state —
-    which is what makes batched execution byte-identical to serial
-    execution and lets the fan-out cross process boundaries.
+    override the bandit decided before the fan-out, plus an optional
+    ``(trace_id, parent_span_id)`` pair) — no server state — which is
+    what makes batched execution byte-identical to serial execution and
+    lets the fan-out cross process boundaries.  When trace context
+    rides along, the execute span is measured here in the worker and
+    shipped back as a dict in the result meta (a worker process has no
+    access to the server's recorder).
     """
-    frame_type, payload, override = item
+    frame_type, payload, override, trace = item
     op = _OP_NAMES[frame_type]
+    span = None
+    if trace is not None:
+        span = Span(
+            "server.execute",
+            trace_id=trace[0],
+            parent_id=trace[1],
+            attributes={"op": op, "pid": os.getpid()},
+        )
     start = time.perf_counter()
     try:
         if frame_type == COMPRESS:
@@ -139,6 +154,14 @@ def _execute_request(item: tuple) -> tuple:
     except Exception as exc:
         result = _error_result(op, exc)
     result[3]["seconds"] = time.perf_counter() - start
+    if span is not None:
+        if result[0] == "ok":
+            span.set_attribute("codec", result[3].get("codec"))
+            span.set_attribute("bytes_out", result[3].get("bytes_out", 0))
+        else:
+            span.set_error(result[2])
+        span.finish()
+        result[3]["spans"] = [span.to_dict()]
     return result
 
 
@@ -278,6 +301,7 @@ class _Pending:
     __slots__ = (
         "frame",
         "expiry",
+        "stamped",
         "rejection",
         "admitted",
         "released",
@@ -285,13 +309,22 @@ class _Pending:
         "priority",
         "charged",
         "executed",
+        "span",
     )
 
-    def __init__(self, frame: Frame, expiry: float | None) -> None:
+    def __init__(
+        self, frame: Frame, expiry: float | None, stamped: float
+    ) -> None:
         self.frame = frame
         #: monotonic instant the request's budget runs out (None = no
         #: deadline was propagated).
         self.expiry = expiry
+        #: monotonic instant the frame was parsed; queue-wait spans
+        #: measure from here.
+        self.stamped = stamped
+        #: the request's server-side trace span (NULL_SPAN when tracing
+        #: is off — call sites never branch).
+        self.span = NULL_SPAN
         #: pre-encoded ERROR payload when the request was rejected at
         #: admission (deadline / shed / auth / quota) or discarded
         #: while queued.
@@ -370,6 +403,19 @@ class CompressionServer:
         Extra keyword options for each tenant's
         :class:`~repro.select.online.OnlinePolicy` (e.g. a custom
         ``candidates`` arm set, ``exploration``, ``latency_weight``).
+    trace:
+        Enable distributed tracing: every heavy request grows a span
+        tree (parse → admission stages → queue wait → execute) in a
+        per-process :class:`~repro.obs.spans.SpanRecorder`, joined to
+        the client's trace when the frame carried ``FLAG_TRACE``.
+        Off by default — a disabled recorder hands out a shared no-op
+        span, so the instrumentation costs nothing measurable.
+    trace_capacity:
+        Ring-buffer size of the span recorder (oldest spans drop).
+    slow_request_ms:
+        When set, request completions slower than this threshold are
+        written to the structured log (trace-correlated); ``None``
+        disables slow-request logging.
     """
 
     def __init__(
@@ -391,6 +437,9 @@ class CompressionServer:
         tenants: TenantRegistry | None = None,
         online_seed: int = 0,
         online_options: dict | None = None,
+        trace: bool = False,
+        trace_capacity: int = 4096,
+        slow_request_ms: float | None = None,
     ) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be positive")
@@ -411,6 +460,13 @@ class CompressionServer:
         self.shed_retry_after_ms = int(shed_retry_after_ms)
         self._admission = _AdmissionGate(max_queued_requests, max_queued_bytes)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.recorder = SpanRecorder(trace_capacity, enabled=bool(trace))
+        self._log = get_logger("repro.service")
+        self._slow = (
+            SlowRequestSampler(self._log, threshold_ms=float(slow_request_ms))
+            if slow_request_ms is not None
+            else None
+        )
         self.tenants = tenants
         self.online_seed = int(online_seed)
         self.online_options = dict(online_options or {})
@@ -436,6 +492,15 @@ class CompressionServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._log.info(
+            "server started",
+            extra={
+                "node": self.effective_node_id,
+                "host": self.host,
+                "port": self.port,
+                "tracing": self.recorder.enabled,
+            },
+        )
 
     async def serve_until_stopped(self) -> None:
         """Run until :meth:`stop` completes (starts if needed)."""
@@ -464,6 +529,9 @@ class CompressionServer:
             self._pool.shutdown(wait=False, cancel_futures=True)
         self._pool = None
         self._stopped.set()
+        self._log.info(
+            "server stopped", extra={"node": self.effective_node_id}
+        )
 
     async def __aenter__(self) -> "CompressionServer":
         await self.start()
@@ -517,7 +585,30 @@ class CompressionServer:
             snap = hub.snapshot()
             if snap["tenants"]:
                 body["online"] = snap
+        if self.recorder.enabled:
+            body["tracing"] = self.recorder.stats()
         return body
+
+    def trace_document(
+        self, limit: int | None = None, trace_id: str | None = None
+    ) -> dict:
+        """The JSON body answering a ``trace`` request.
+
+        Works whether or not tracing is enabled: a disabled recorder
+        answers honestly (``stats.enabled: false``, no spans) so
+        aggregators need no special-casing.  ``trace_id`` narrows the
+        answer to one trace; otherwise the most recent ``limit`` spans
+        of the ring are returned.
+        """
+        return {
+            "node": self.effective_node_id,
+            "stats": self.recorder.stats(),
+            "spans": (
+                self.recorder.trace(trace_id)
+                if trace_id is not None
+                else self.recorder.snapshot(limit)
+            ),
+        }
 
     def health_document(self) -> dict:
         """The JSON body answering a ``health`` probe."""
@@ -566,6 +657,7 @@ class CompressionServer:
                 None
                 if frame.deadline_ms is None
                 else now + frame.deadline_ms / 1e3,
+                now,
             )
             for frame in frames
         ]
@@ -576,7 +668,10 @@ class CompressionServer:
             if not data:
                 return
             try:
-                pending = self._stamp(parser.feed(data))
+                parse_started = time.perf_counter()
+                frames = parser.feed(data)
+                parse_seconds = time.perf_counter() - parse_started
+                pending = self._stamp(frames)
                 if pending and self.batch_window > 0:
                     pending = await self._gather_batch(reader, parser, pending)
             except ProtocolError as exc:
@@ -588,6 +683,7 @@ class CompressionServer:
                 )
                 return
             if pending:
+                self._open_spans(pending, parse_seconds)
                 await self._process_frames(writer, pending)
 
     async def _read_or_drain(self, reader) -> bytes:
@@ -629,6 +725,82 @@ class CompressionServer:
             inflight += sum(len(item.frame.payload) for item in more)
         return pending
 
+    # -- tracing -------------------------------------------------------
+    def _open_spans(
+        self, pending: list[_Pending], parse_seconds: float
+    ) -> None:
+        """Open a ``server.request`` span per heavy frame (traced mode).
+
+        The span joins the client's trace when the frame carried
+        ``FLAG_TRACE`` (a malformed context falls back to a fresh
+        trace rather than rejecting the request — tracing is best-
+        effort observability, never admission).  Each span is backdated
+        to when its frame was stamped, so batch-window waiting is
+        inside the request span, and a completed ``server.parse`` child
+        records the frame-decode cost.
+        """
+        if not self.recorder.enabled:
+            return
+        node = self.effective_node_id
+        now = time.monotonic()
+        for item in pending:
+            frame = item.frame
+            if frame.frame_type not in _HEAVY_TYPES:
+                continue
+            parent = None
+            if frame.trace_context is not None:
+                try:
+                    parent = TraceContext.from_wire(frame.trace_context)
+                except ValueError:
+                    parent = None
+            span = self.recorder.span(
+                "server.request",
+                parent=parent,
+                attributes={
+                    "op": _OP_NAMES[frame.frame_type],
+                    "request_id": frame.request_id,
+                    "node": node,
+                },
+            )
+            offset = (now - item.stamped) + parse_seconds
+            span.start -= offset
+            span._t0 -= offset
+            item.span = span
+            parse = Span(
+                "server.parse",
+                trace_id=span.trace_id,
+                parent_id=span.span_id,
+                attributes={"bytes": len(frame.payload), "node": node},
+            )
+            parse.start = span.start
+            parse.duration = parse_seconds
+            self.recorder.record(parse)
+
+    def _stage(self, item: _Pending, name: str):
+        """An admission-stage child span (no-op when untraced)."""
+        if not item.span:
+            return NULL_SPAN
+        return self.recorder.span(name, parent=item.span)
+
+    def _finish_rejected(self, item: _Pending) -> None:
+        """Close a rejected request's span as an error (idempotent)."""
+        if item.span:
+            item.span.set_error("rejected")
+            item.span.finish()
+            item.span = NULL_SPAN
+
+    def _log_slow(self, op: str, seconds: float, item: _Pending, span) -> None:
+        if self._slow is None:
+            return
+        self._slow.observe(
+            op,
+            seconds,
+            trace_id=span.trace_id or None,
+            tenant=item.tenant_id,
+            request_id=item.frame.request_id,
+            node=self.effective_node_id,
+        )
+
     # -- admission -----------------------------------------------------
     def _admit(self, pending: list[_Pending]) -> None:
         """Admission decisions for a batch of heavy frames, at arrival.
@@ -651,60 +823,79 @@ class CompressionServer:
             if frame.frame_type not in _HEAVY_TYPES:
                 continue
             op = _OP_NAMES[frame.frame_type]
-            if item.expiry is not None and item.expiry <= now:
-                self.metrics.record_deadline_rejected()
-                self.metrics.record_request(op, 0.0, ok=False)
-                item.rejection = encode_error(
-                    ERR_DEADLINE,
-                    f"deadline budget ({frame.deadline_ms} ms) already "
-                    "expired at admission",
-                )
+            with self._stage(item, "server.deadline") as stage:
+                if item.expiry is not None and item.expiry <= now:
+                    self.metrics.record_deadline_rejected()
+                    self.metrics.record_request(op, 0.0, ok=False)
+                    message = (
+                        f"deadline budget ({frame.deadline_ms} ms) already "
+                        "expired at admission"
+                    )
+                    stage.set_error(message)
+                    item.rejection = encode_error(ERR_DEADLINE, message)
+            if item.rejection is not None:
                 continue
             if self.tenants is not None:
-                try:
-                    tenant = self.tenants.authenticate(frame.tenant_token)
-                except AuthenticationError as exc:
-                    self.metrics.record_auth_rejected()
-                    self.metrics.record_request(op, 0.0, ok=False)
-                    item.rejection = encode_error(
-                        ERR_UNAUTHENTICATED, str(exc)
-                    )
+                with self._stage(item, "server.auth") as stage:
+                    try:
+                        tenant = self.tenants.authenticate(frame.tenant_token)
+                    except AuthenticationError as exc:
+                        self.metrics.record_auth_rejected()
+                        self.metrics.record_request(op, 0.0, ok=False)
+                        stage.set_error(exc)
+                        item.rejection = encode_error(
+                            ERR_UNAUTHENTICATED, str(exc)
+                        )
+                    else:
+                        item.tenant_id = tenant.tenant_id
+                        item.priority = tenant.priority
+                        stage.set_attribute("tenant", tenant.tenant_id)
+                        if item.span:
+                            item.span.set_attribute(
+                                "tenant", tenant.tenant_id
+                            )
+                if item.rejection is not None:
                     continue
-                item.tenant_id = tenant.tenant_id
-                item.priority = tenant.priority
-            if not self._admission.try_admit(len(frame.payload)):
-                self.metrics.record_shed()
-                self.metrics.record_request(
-                    op, 0.0, ok=False, tenant=item.tenant_id
-                )
-                item.rejection = encode_overload_error(
-                    "admission gate full "
-                    f"({self._admission.max_requests} requests / "
-                    f"{self._admission.max_bytes} bytes queued)",
-                    self.shed_retry_after_ms,
-                )
-                continue
-            item.admitted = True
-            if self.tenants is not None and item.tenant_id is not None:
-                decision = self.tenants.check_quota(
-                    item.tenant_id, len(frame.payload)
-                )
-                if decision.admitted:
-                    item.charged = True
-                    self.metrics.record_tenant_admitted(
-                        item.tenant_id, len(frame.payload)
-                    )
-                else:
-                    self.metrics.record_quota_rejected(item.tenant_id)
+            with self._stage(item, "server.gate") as stage:
+                if not self._admission.try_admit(len(frame.payload)):
+                    self.metrics.record_shed()
                     self.metrics.record_request(
                         op, 0.0, ok=False, tenant=item.tenant_id
                     )
-                    item.admitted = False
-                    self._admission.release(len(frame.payload))
-                    item.rejection = encode_quota_error(
-                        f"tenant {item.tenant_id!r}: {decision.reason}",
-                        decision.retry_after_ms,
+                    stage.set_error("shed: admission gate full")
+                    item.rejection = encode_overload_error(
+                        "admission gate full "
+                        f"({self._admission.max_requests} requests / "
+                        f"{self._admission.max_bytes} bytes queued)",
+                        self.shed_retry_after_ms,
                     )
+            if item.rejection is not None:
+                continue
+            item.admitted = True
+            if self.tenants is not None and item.tenant_id is not None:
+                with self._stage(item, "server.quota") as stage:
+                    decision = self.tenants.check_quota(
+                        item.tenant_id, len(frame.payload)
+                    )
+                    if decision.admitted:
+                        item.charged = True
+                        self.metrics.record_tenant_admitted(
+                            item.tenant_id, len(frame.payload)
+                        )
+                    else:
+                        self.metrics.record_quota_rejected(item.tenant_id)
+                        self.metrics.record_request(
+                            op, 0.0, ok=False, tenant=item.tenant_id
+                        )
+                        item.admitted = False
+                        self._admission.release(len(frame.payload))
+                        stage.set_error(
+                            f"quota: {decision.reason}"
+                        )
+                        item.rejection = encode_quota_error(
+                            f"tenant {item.tenant_id!r}: {decision.reason}",
+                            decision.retry_after_ms,
+                        )
 
     def _release(self, item: _Pending) -> None:
         if item.admitted and not item.released:
@@ -774,10 +965,29 @@ class CompressionServer:
                 heavy.append((index, item))
             results: dict[int, tuple] = {}
             if heavy:
-                items = [
-                    (item.frame.frame_type, item.frame.payload, item.tenant_id)
-                    for _, item in heavy
-                ]
+                items = []
+                for _, item in heavy:
+                    if item.span:
+                        # Time spent between stamping and execution is
+                        # queue wait: record it as a completed child.
+                        waited = now - item.stamped
+                        wait = self.recorder.span(
+                            "server.queue_wait", parent=item.span
+                        )
+                        wait.start -= waited
+                        wait._t0 -= waited
+                        wait.set_attribute("batch_size", len(heavy))
+                        wait.finish()
+                    items.append(
+                        (
+                            item.frame.frame_type,
+                            item.frame.payload,
+                            item.tenant_id,
+                            item.span.context.to_tuple()
+                            if item.span
+                            else None,
+                        )
+                    )
                 for _, item in heavy:
                     item.executed = True
                 # One fan-out for the whole slice.  Run it off the event
@@ -793,6 +1003,7 @@ class CompressionServer:
                     results[index] = outcome
             for index, item in enumerate(pending):
                 if item.rejection is not None:
+                    self._finish_rejected(item)
                     await self._send(
                         writer, ERROR, item.frame.request_id, item.rejection
                     )
@@ -808,6 +1019,12 @@ class CompressionServer:
         frame = item.frame
         meta = outcome[3]
         seconds = meta.pop("seconds", 0.0)
+        worker_spans = meta.pop("spans", None)
+        if worker_spans:
+            # Execute spans measured inside pool workers ride back on
+            # the result meta; fold them into this process's recorder.
+            self.recorder.record_dicts(worker_spans)
+        span = item.span
         if outcome[0] == "ok":
             _, ftype, payload, _ = outcome
             self.metrics.record_request(
@@ -818,12 +1035,24 @@ class CompressionServer:
                 bytes_out=meta.get("bytes_out", 0),
                 tenant=item.tenant_id,
             )
+            if span:
+                span.set_attribute("codec", meta.get("codec"))
+                span.set_attribute("bytes_in", meta.get("bytes_in", 0))
+                span.set_attribute("bytes_out", meta.get("bytes_out", 0))
+                span.finish()
+                item.span = NULL_SPAN
+            self._log_slow(meta["op"], seconds, item, span)
             await self._send(writer, ftype, frame.request_id, payload)
         else:
             _, code, message, _ = outcome
             self.metrics.record_request(
                 meta["op"], seconds, ok=False, tenant=item.tenant_id
             )
+            if span:
+                span.set_error(message)
+                span.finish()
+                item.span = NULL_SPAN
+            self._log_slow(meta["op"], seconds, item, span)
             await self._send(
                 writer, ERROR, frame.request_id, encode_error(code, message)
             )
@@ -866,6 +1095,30 @@ class CompressionServer:
             self.metrics.record_request("health", time.perf_counter() - start)
             await self._send(
                 writer, response_type(HEALTH), frame.request_id, payload
+            )
+        elif frame.frame_type == TRACE:
+            try:
+                limit, trace_id = protocol.decode_trace_request(frame.payload)
+                payload = protocol.encode_json(
+                    self.trace_document(limit, trace_id)
+                )
+            except Exception as exc:
+                self.metrics.record_request(
+                    "trace", time.perf_counter() - start, ok=False
+                )
+                await self._send(
+                    writer,
+                    ERROR,
+                    frame.request_id,
+                    encode_error(
+                        protocol.error_code_for(exc),
+                        f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+                return
+            self.metrics.record_request("trace", time.perf_counter() - start)
+            await self._send(
+                writer, response_type(TRACE), frame.request_id, payload
             )
         elif frame.frame_type == CLUSTER_CONTROL:
             # A compression node takes orders from its supervisor's
@@ -954,13 +1207,13 @@ class CompressionServer:
         """Resolve online-policy compress items to concrete codec arms.
 
         Returns the pure executable items plus ``{slot: (tenant,
-        bucket, codec)}`` for the decisions to observe after execution.
-        Anything unparseable passes through undecided — the executor
-        will produce the proper typed error for it.
+        bucket, codec, trace)}`` for the decisions to observe after
+        execution.  Anything unparseable passes through undecided — the
+        executor will produce the proper typed error for it.
         """
         prepared = []
         decisions: dict[int, tuple] = {}
-        for slot, (frame_type, payload, tenant_id) in enumerate(items):
+        for slot, (frame_type, payload, tenant_id, trace) in enumerate(items):
             override = None
             if frame_type == COMPRESS:
                 try:
@@ -969,32 +1222,45 @@ class CompressionServer:
                     )
                     if codec == "auto" and policy == "online":
                         chunk = protocol.decode_array_view(payload, pos)
-                        override, bucket = self.online_hub().decide(
-                            tenant_id, chunk
-                        )
-                        decisions[slot] = (tenant_id, bucket, override)
+                        with self._bandit_span("bandit.choose", trace) as sp:
+                            override, bucket = self.online_hub().decide(
+                                tenant_id, chunk
+                            )
+                            sp.set_attribute("codec", override)
+                            sp.set_attribute("tenant", tenant_id)
+                        decisions[slot] = (tenant_id, bucket, override, trace)
                 except (ProtocolError, ReproError):
                     override = None
-            prepared.append((frame_type, payload, override))
+            prepared.append((frame_type, payload, override, trace))
         return prepared, decisions
+
+    def _bandit_span(self, name: str, trace: tuple | None):
+        """A bandit choose/observe child span (no-op when untraced)."""
+        if trace is None or not self.recorder.enabled:
+            return NULL_SPAN
+        return self.recorder.span(
+            name, parent=TraceContext.from_tuple(trace)
+        )
 
     def _observe_batch(
         self, decisions: dict[int, tuple], outcomes: list[tuple]
     ) -> None:
         """Close the loop: feed served outcomes back into the bandit."""
-        for slot, (tenant_id, bucket, codec) in decisions.items():
+        for slot, (tenant_id, bucket, codec, trace) in decisions.items():
             outcome = outcomes[slot]
             if outcome[0] != "ok":
                 continue
             meta = outcome[3]
-            self.online_hub().observe(
-                tenant_id,
-                bucket,
-                codec,
-                meta.get("bytes_in", 0),
-                meta.get("bytes_out", 0),
-                meta.get("seconds", 0.0),
-            )
+            with self._bandit_span("bandit.observe", trace) as sp:
+                sp.set_attribute("codec", codec)
+                self.online_hub().observe(
+                    tenant_id,
+                    bucket,
+                    codec,
+                    meta.get("bytes_in", 0),
+                    meta.get("bytes_out", 0),
+                    meta.get("seconds", 0.0),
+                )
 
     def _worker_pool(self) -> futures.ProcessPoolExecutor | None:
         with self._pool_lock:
@@ -1126,6 +1392,9 @@ def run_server(
     """
     import signal
 
+    # Foreground serving owns its process: route every repro.* logger
+    # through the structured JSON handler.
+    configure_logging(logger=get_logger("repro"))
     server = CompressionServer(host, port, **kwargs)
 
     async def _main() -> None:

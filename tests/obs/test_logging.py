@@ -1,0 +1,151 @@
+"""Structured logging: JSON lines, idempotent setup, slow sampling."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import (
+    JsonFormatter,
+    SlowRequestSampler,
+    configure_logging,
+    get_logger,
+)
+
+
+def _fresh_logger(name):
+    logger = logging.getLogger(name)
+    logger.handlers.clear()
+    return logger
+
+
+def _lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+# ----------------------------------------------------------------------
+# The formatter
+# ----------------------------------------------------------------------
+def test_every_line_is_one_json_object_with_the_envelope():
+    logger = _fresh_logger("repro.test.fmt")
+    stream = io.StringIO()
+    configure_logging(stream=stream, logger=logger)
+    logger.info(
+        "request done",
+        extra={"trace_id": "ab" * 16, "tenant": "gold", "request_id": 7},
+    )
+    [entry] = _lines(stream)
+    assert entry["event"] == "request done"
+    assert entry["level"] == "info"
+    assert entry["logger"] == "repro.test.fmt"
+    assert entry["trace_id"] == "ab" * 16
+    assert entry["tenant"] == "gold"
+    assert entry["request_id"] == 7
+    assert isinstance(entry["ts"], float)
+
+
+def test_non_primitive_extras_are_coerced_to_strings():
+    logger = _fresh_logger("repro.test.coerce")
+    stream = io.StringIO()
+    configure_logging(stream=stream, logger=logger)
+    logger.info("odd", extra={"obj": object(), "path": b"bytes"})
+    [entry] = _lines(stream)
+    assert isinstance(entry["obj"], str)
+    assert isinstance(entry["path"], str)
+
+
+def test_exceptions_render_as_an_error_field_not_a_traceback_blob():
+    logger = _fresh_logger("repro.test.exc")
+    stream = io.StringIO()
+    configure_logging(stream=stream, logger=logger)
+    try:
+        raise ValueError("boom")
+    except ValueError:
+        logger.exception("request failed")
+    [entry] = _lines(stream)
+    assert entry["error"] == "ValueError('boom')"
+    assert "\n" not in stream.getvalue().rstrip("\n")  # still one line
+
+
+def test_formatter_handles_percent_args():
+    record = logging.LogRecord(
+        "repro.x", logging.INFO, __file__, 1, "served %d", (3,), None
+    )
+    assert json.loads(JsonFormatter().format(record))["event"] == "served 3"
+
+
+# ----------------------------------------------------------------------
+# configure_logging
+# ----------------------------------------------------------------------
+def test_reconfiguration_is_idempotent():
+    logger = _fresh_logger("repro.test.idem")
+    stream = io.StringIO()
+    for _ in range(3):
+        configure_logging(stream=stream, logger=logger)
+    logger.info("once")
+    assert len(_lines(stream)) == 1  # not triplicated
+    assert len(logger.handlers) == 1
+    assert logger.propagate is False
+
+
+def test_get_logger_defaults_to_the_repro_namespace():
+    assert get_logger().name == "repro"
+    assert get_logger("repro.service").name == "repro.service"
+
+
+# ----------------------------------------------------------------------
+# SlowRequestSampler
+# ----------------------------------------------------------------------
+def _sampler(threshold_ms=10.0, sample_every=1):
+    logger = _fresh_logger("repro.test.slow")
+    stream = io.StringIO()
+    configure_logging(stream=stream, logger=logger)
+    sampler = SlowRequestSampler(
+        logger, threshold_ms=threshold_ms, sample_every=sample_every
+    )
+    return sampler, stream
+
+
+def test_fast_requests_are_counted_but_never_logged():
+    sampler, stream = _sampler()
+    assert sampler.observe("compress", 0.001) is False
+    assert stream.getvalue() == ""
+    assert sampler.stats() == {
+        "threshold_ms": 10.0,
+        "sample_every": 1,
+        "observed": 1,
+        "slow": 0,
+        "emitted": 0,
+    }
+
+
+def test_slow_requests_log_with_correlation_fields():
+    sampler, stream = _sampler()
+    assert sampler.observe(
+        "compress", 0.5, trace_id="cd" * 16, tenant="gold", skipme=None
+    )
+    [entry] = _lines(stream)
+    assert entry["event"] == "slow request"
+    assert entry["level"] == "warning"
+    assert entry["op"] == "compress"
+    assert entry["duration_ms"] == pytest.approx(500.0)
+    assert entry["threshold_ms"] == 10.0
+    assert entry["trace_id"] == "cd" * 16
+    assert entry["tenant"] == "gold"
+    assert "skipme" not in entry  # None fields dropped
+
+
+def test_sampling_bounds_volume_under_a_latency_storm():
+    sampler, stream = _sampler(sample_every=3)
+    written = sum(sampler.observe("op", 1.0) for _ in range(9))
+    assert written == 3  # every 3rd slow request
+    stats = sampler.stats()
+    assert stats["slow"] == 9 and stats["emitted"] == 3
+    # the counters ride on each emitted line, so the loss is visible
+    assert _lines(stream)[-1]["slow_count"] == 7
+
+
+def test_invalid_sample_every_is_typed():
+    with pytest.raises(ValueError):
+        SlowRequestSampler(sample_every=0)

@@ -14,6 +14,7 @@ import pytest
 from repro.errors import SelectionError
 from repro.select.features import extract_features
 from repro.select.online import (
+    PRODUCTION_LATENCY_WEIGHT,
     OnlinePolicy,
     OnlineSelectorHub,
     feature_bucket,
@@ -182,3 +183,44 @@ class TestHub:
         hub = OnlineSelectorHub(candidates=ARMS)
         hub.decide(None, _chunks()[0])
         assert OnlineSelectorHub.DEFAULT_TENANT in hub.snapshot()["tenants"]
+
+
+class TestProductionLatencyWeight:
+    """The serving hub's reward is latency-aware by default (pin)."""
+
+    def test_constant_pinned(self):
+        assert PRODUCTION_LATENCY_WEIGHT == 2.0
+
+    def test_offline_policy_default_stays_ratio_only(self):
+        # Offline/replay use constructs OnlinePolicy directly; its
+        # reward must not grow a latency toll behind sweeps' backs.
+        assert OnlinePolicy().latency_weight == 0.0
+
+    def test_hub_observations_pay_the_latency_toll(self):
+        hub = OnlineSelectorHub(candidates=ARMS)
+        # 1 MiB halved in 0.1 s: saving 0.5, toll 2.0 * 0.1 = 0.2.
+        hub.observe(None, "b", "gorilla", 1 << 20, 1 << 19, seconds=0.1)
+        snap = hub.snapshot()["tenants"][OnlineSelectorHub.DEFAULT_TENANT]
+        row = snap["buckets"]["b"]["arms"]["gorilla"]
+        assert row["mean_reward"] == pytest.approx(0.3)
+
+    def test_hub_opt_out_restores_ratio_only_reward(self):
+        hub = OnlineSelectorHub(candidates=ARMS, latency_weight=0.0)
+        hub.observe(None, "b", "gorilla", 1 << 20, 1 << 19, seconds=0.1)
+        snap = hub.snapshot()["tenants"][OnlineSelectorHub.DEFAULT_TENANT]
+        row = snap["buckets"]["b"]["arms"]["gorilla"]
+        assert row["mean_reward"] == pytest.approx(0.5)
+
+    def test_slow_tight_arm_loses_to_fast_near_tight_arm(self):
+        # Under the production weight a codec that squeezes 2 points
+        # more but runs 10x slower must *lose*: 0.80 @ 0.05 s/MiB
+        # nets 0.70, 0.78 @ 0.005 s/MiB nets 0.77.
+        policy = OnlinePolicy(
+            candidates=ARMS, latency_weight=PRODUCTION_LATENCY_WEIGHT
+        )
+        mib = 1 << 20
+        slow_tight = policy.reward(mib, int(mib * 0.20), 0.05)
+        fast_loose = policy.reward(mib, int(mib * 0.22), 0.005)
+        assert slow_tight == pytest.approx(0.70)
+        assert fast_loose == pytest.approx(0.77)
+        assert fast_loose > slow_tight

@@ -102,7 +102,7 @@ def test_unknown_flag_bits_are_a_protocol_error():
             MAGIC,
             bytes([PING | FLAG_BIT]),
             encode_uvarint(1),  # request id
-            encode_uvarint(0x04),  # an undefined flag bit
+            encode_uvarint(0x08),  # an undefined flag bit
             encode_uvarint(len(payload)),
             payload,
             (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "little"),

@@ -154,3 +154,132 @@ class TestEndpoints:
     def test_port_resolves_and_restart_is_idempotent(self, stack):
         assert stack.port > 0
         assert stack.start() is stack  # second start is a no-op
+
+
+class TestErrorPaths:
+    def test_non_get_is_405_with_allow_header(self, stack):
+        for method in ("POST", "PUT", "DELETE"):
+            request = urllib.request.Request(
+                stack.url("/metrics"),
+                data=b"" if method != "DELETE" else None,
+                method=method,
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=5)
+            assert excinfo.value.code == 405, method
+            assert excinfo.value.headers["Allow"] == "GET"
+
+    def test_trace_on_an_untraced_server_is_a_clean_404(self, stack):
+        # The fixture's server runs without --trace: the route exists
+        # but answers 404 JSON, not a 500 or an exposition page.
+        for path in ("/trace", "/trace/chrome", "/trace/" + "ab" * 16):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(stack, path)
+            assert excinfo.value.code == 404, path
+            body = json.loads(excinfo.value.read().decode("utf-8"))
+            assert body["error"] == "tracing disabled"
+
+    def test_build_info_and_scrape_duration_exported(self, stack):
+        _, body = _get(stack, "/metrics")
+        families = validate_exposition(body)
+        assert families["fcbench_build_info"] == "gauge"
+        assert (
+            families["fcbench_gateway_scrape_duration_seconds"] == "gauge"
+        )
+        info = re.search(r"fcbench_build_info\{([^}]*)\} 1", body)
+        assert info, "build info sample missing"
+        assert 'version="' in info.group(1)
+        assert 'python="' in info.group(1)
+
+    def test_concurrent_scrapes_race_metric_writes_cleanly(self, stack):
+        """Scrapes racing live traffic must each see a valid page."""
+        import threading
+
+        array = np.linspace(0.0, 1.0, 1024).astype(np.float64)
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def _traffic():
+            with ServiceClient(
+                stack.server.host, stack.server.port, token="gw-acme"
+            ) as client:
+                while not stop.is_set():
+                    client.compress_array(array, "gorilla")
+
+        def _scrape():
+            try:
+                for _ in range(10):
+                    status, body = _get(stack, "/metrics")
+                    assert status == 200
+                    validate_exposition(body)
+            except Exception as exc:  # noqa: BLE001 - the point
+                errors.append(f"{type(exc).__name__}: {exc}")
+
+        driver = threading.Thread(target=_traffic, daemon=True)
+        scrapers = [
+            threading.Thread(target=_scrape, daemon=True) for _ in range(4)
+        ]
+        driver.start()
+        for thread in scrapers:
+            thread.start()
+        for thread in scrapers:
+            thread.join(timeout=60)
+        stop.set()
+        driver.join(timeout=60)
+        assert errors == []
+
+
+class TestTraceRoutes:
+    @pytest.fixture(scope="class")
+    def traced_stack(self):
+        handle = serve_background(trace=True, online_seed=7)
+        gateway = ObservabilityGateway(handle.server)
+        gateway.start()
+        array = np.linspace(0.0, 1.0, 2048).astype(np.float64)
+        with ServiceClient(handle.host, handle.port, trace=True) as client:
+            blob = client.compress_array(array, "gorilla")
+            client.decompress_array(blob)
+            trace_ids = sorted(
+                {s["trace_id"] for s in client.recorder.snapshot()}
+            )
+        yield gateway, trace_ids
+        gateway.stop()
+        handle.stop()
+
+    def test_trace_lists_recent_spans_and_ids(self, traced_stack):
+        gateway, trace_ids = traced_stack
+        status, body = _get(gateway, "/trace")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["stats"]["enabled"] is True
+        assert set(trace_ids) <= set(payload["trace_ids"])
+        names = {span["name"] for span in payload["spans"]}
+        assert {"server.request", "server.execute"} <= names
+
+    def test_trace_by_id_returns_one_nested_tree(self, traced_stack):
+        gateway, trace_ids = traced_stack
+        status, body = _get(gateway, f"/trace/{trace_ids[0]}")
+        assert status == 200
+        payload = json.loads(body)
+        assert all(
+            span["trace_id"] == trace_ids[0] for span in payload["spans"]
+        )
+        [root] = payload["tree"]
+        assert root["name"] == "server.request"
+        assert {c["name"] for c in root["children"]} >= {
+            "server.parse",
+            "server.execute",
+        }
+
+    def test_unknown_trace_id_is_404(self, traced_stack):
+        gateway, _ = traced_stack
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(gateway, "/trace/" + "00" * 16)
+        assert excinfo.value.code == 404
+
+    def test_chrome_export_loads_in_about_tracing(self, traced_stack):
+        gateway, _ = traced_stack
+        status, body = _get(gateway, "/trace/chrome")
+        assert status == 200
+        events = json.loads(body)["traceEvents"]
+        assert events and all(event["ph"] == "X" for event in events)
